@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+The full evaluation (SPEX + injection campaign + lint for all seven
+systems) is computed once per session; the per-table benchmarks then
+time their rendering/aggregation step and print the regenerated
+table so the run's output can be compared against the paper.
+"""
+
+import pytest
+
+from repro.reporting import Evaluation
+
+
+@pytest.fixture(scope="session")
+def evaluation():
+    ev = Evaluation.shared()
+    ev.results()  # warm every per-system result once
+    return ev
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure under the benchmark output."""
+    print("\n" + text)

@@ -1,0 +1,64 @@
+"""Figure panels 3, 5, 6, 7: the paper's worked examples, live."""
+
+from conftest import emit
+
+
+def test_figure3_inference_examples(benchmark, evaluation):
+    text = benchmark(evaluation.figure3)
+    emit(text)
+    assert "<missing" not in text
+    assert "log.filesize: 32-bit integer" in text
+    assert "ft_stopword_file: FILE" in text
+    assert "valid range [4, 255]" in text
+    assert "commit_siblings takes effect only when fsync != 0" in text
+    assert "ft_max_word_len > ft_min_word_len" in text
+
+
+def test_figure5_injection_examples(benchmark, evaluation):
+    text = benchmark(evaluation.figure5)
+    emit(text)
+    assert "<no verdict" not in text
+    assert "crash/hang" in text  # the MySQL stopword-directory crash
+    assert "silent ignorance" in text  # fsync ∧ commit_siblings
+    assert "functional failure" in text  # ft_min > ft_max
+
+
+def test_figure6_errorprone_examples(benchmark, evaluation):
+    text = benchmark(evaluation.figure6)
+    emit(text)
+    assert "innodb_file_format_check" in text
+    assert "MaxMemFree=KB" in text
+    assert "sscanf" in text
+
+
+def test_figure7_vulnerability_examples(benchmark, evaluation):
+    text = benchmark(evaluation.figure7)
+    emit(text)
+    assert "<no verdict" not in text
+    assert "performance_schema_events_waits_history_size" in text
+    assert "ThreadLimit" in text
+    assert "virtual_use_local_privs" in text
+
+
+def test_figure2_listener_threads_crash(benchmark, evaluation):
+    """Figure 2's motivating example: listener-threads > 16 segfaults
+    with nothing but 'Segmentation fault' on the console."""
+    from repro.inject.harness import InjectionHarness
+    from repro.systems import get_system
+
+    system = get_system("openldap")
+    harness = InjectionHarness(system)
+    config = system.default_config.replace(
+        "listener-threads 1", "listener-threads 32"
+    )
+    result = benchmark.pedantic(
+        harness.launch, args=(config,), rounds=3, iterations=1
+    )
+    emit(
+        "Figure 2: listener-threads 32 -> "
+        f"{result.status.value} ({result.fault_signal}); logs: "
+        + "; ".join(r.text for r in result.logs)
+    )
+    assert result.crashed
+    assert result.fault_signal == "SIGSEGV"
+    assert any("Segmentation fault" in r.text for r in result.logs)

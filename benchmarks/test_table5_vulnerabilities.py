@@ -1,0 +1,63 @@
+"""Table 5: vulnerabilities by reaction category + code locations.
+
+Shape assertions mirror the paper's headline findings rather than the
+absolute counts (our systems are miniatures): silent violation is the
+dominant reaction class overall; every open-source system shows
+crash/early-termination-style reactions; Storage-A shows neither
+crashes nor early terminations; VSFTP crashes the most.
+"""
+
+from conftest import emit
+
+from repro.inject.reactions import ReactionCategory as RC
+
+
+def _counts(evaluation):
+    return {
+        res.system.name: res.campaign.counts_by_category()
+        for res in evaluation.results()
+    }
+
+
+def test_table5a_vulnerabilities(benchmark, evaluation):
+    table = benchmark(evaluation.table5a)
+    emit(table)
+    counts = _counts(evaluation)
+    totals = {}
+    for cat in RC:
+        totals[cat] = sum(c.get(cat, 0) for c in counts.values())
+
+    # Silent violation dominates (378 of 743 in the paper).
+    assert totals[RC.SILENT_VIOLATION] == max(
+        v for k, v in totals.items() if k is not RC.GOOD
+    )
+    # Storage-A's defensive style: no crashes, no early terminations.
+    assert counts["storage_a"].get(RC.CRASH_HANG, 0) == 0
+    assert counts["storage_a"].get(RC.EARLY_TERMINATION, 0) == 0
+    # VSFTP has the most crashes among the open-source systems.
+    crash = {k: v.get(RC.CRASH_HANG, 0) for k, v in counts.items()}
+    assert crash["vsftpd"] == max(crash.values())
+    # Every open-source system exposes at least one severe reaction.
+    for name in ("apache", "mysql", "openldap", "vsftpd", "squid"):
+        severe = counts[name].get(RC.CRASH_HANG, 0) + counts[name].get(
+            RC.EARLY_TERMINATION, 0
+        )
+        assert severe >= 1, name
+    # Squid exposes the most vulnerabilities among open-source systems
+    # (221 of 743 in the paper).
+    totals_by_system = {
+        res.system.name: res.campaign.total() for res in evaluation.results()
+    }
+    open_source = {
+        k: v for k, v in totals_by_system.items() if k != "storage_a"
+    }
+    assert max(open_source, key=open_source.get) in ("squid", "mysql")
+
+
+def test_table5b_code_locations(benchmark, evaluation):
+    table = benchmark(evaluation.table5b)
+    emit(table)
+    for res in evaluation.results():
+        # A location can cover several vulnerabilities, never the
+        # reverse (448 locations for 743 vulnerabilities in the paper).
+        assert len(res.campaign.unique_code_locations()) <= res.campaign.total()

@@ -1,0 +1,64 @@
+"""Tables 6-8: error-prone configuration design distributions."""
+
+from conftest import emit
+
+from repro.knowledge import Unit
+
+
+def test_table6_case_sensitivity(benchmark, evaluation):
+    table = benchmark(evaluation.table6)
+    emit(table)
+    by_name = {res.system.name: res.lint.case_sensitivity for res in evaluation.results()}
+    # Squid is the only system with a case-sensitive share near half
+    # (85 vs 76 in the paper) - everyone else is insensitive-dominant.
+    squid = by_name["squid"]
+    assert len(squid.sensitive) >= len(squid.insensitive)
+    for name in ("storage_a", "apache", "mysql"):
+        finding = by_name[name]
+        assert finding.inconsistent  # mixed requirements (Figure 6a)
+        assert len(finding.insensitive) > len(finding.sensitive)
+    # VSFTP and PostgreSQL are fully insensitive/consistent.
+    assert not by_name["vsftpd"].sensitive
+    assert not by_name["postgresql"].sensitive
+
+
+def test_table7_units(benchmark, evaluation):
+    table = benchmark(evaluation.table7)
+    emit(table)
+    storage = next(
+        res for res in evaluation.results() if res.system.name == "storage_a"
+    )
+    sizes = storage.lint.units.distribution("size")
+    times = storage.lint.units.distribution("time")
+    # Storage-A's unit zoo: all four size units and at least four
+    # time units in use (B-dominant, like the paper's row).
+    assert set(sizes) == {Unit.BYTES, Unit.KILOBYTES, Unit.MEGABYTES, Unit.GIGABYTES}
+    assert sizes[Unit.BYTES] == max(sizes.values())
+    assert len(times) >= 4
+    # ... mitigated by unit-suffix naming (§5.2).
+    assert len(storage.lint.units.unit_named) >= 5
+    # Apache's KB outlier among byte-sized parameters (Figure 6b).
+    apache = next(res for res in evaluation.results() if res.system.name == "apache")
+    a_sizes = apache.lint.units.distribution("size")
+    assert a_sizes.get(Unit.KILOBYTES) == 1
+    assert a_sizes.get(Unit.BYTES, 0) > 1
+
+
+def test_table8_errorprone(benchmark, evaluation):
+    table = benchmark(evaluation.table8)
+    emit(table)
+    lints = {res.system.name: res.lint for res in evaluation.results()}
+    # Squid dominates silent overruling (73 parameters in the paper).
+    overruling = {k: len(v.overruling.params) for k, v in lints.items()}
+    assert overruling["squid"] == max(overruling.values())
+    assert overruling["squid"] >= 5
+    # Unsafe transformation APIs: Squid/Storage-A/Apache/VSFTP use
+    # them, MySQL/PostgreSQL/OpenLDAP do not (Table 8).
+    unsafe = {k: len(v.unsafe.affected) for k, v in lints.items()}
+    for name in ("squid", "storage_a", "apache", "vsftpd"):
+        assert unsafe[name] > 0, name
+    for name in ("mysql", "postgresql", "openldap"):
+        assert unsafe[name] == 0, name
+    # VSFTP has the most undocumented control dependencies (47).
+    undoc_deps = {k: len(v.undocumented.control_deps) for k, v in lints.items()}
+    assert undoc_deps["vsftpd"] == max(undoc_deps.values())

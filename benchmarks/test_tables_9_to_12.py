@@ -1,0 +1,74 @@
+"""Tables 9-12: real-world benefit, constraint counts, accuracy."""
+
+from conftest import emit
+
+
+def test_table9_realworld_benefit(benchmark, evaluation):
+    table = benchmark(evaluation.table9)
+    emit(table)
+    replays = evaluation._replays()
+    # The paper's headline: 24%-38% of historical parameter
+    # misconfigurations could have been avoided.
+    for name, rep in replays.items():
+        assert 0.20 <= rep.avoidable_fraction <= 0.45, (
+            name,
+            rep.avoidable_fraction,
+        )
+
+
+def test_table10_breakdown(benchmark, evaluation):
+    table = benchmark(evaluation.table10)
+    emit(table)
+    replays = evaluation._replays()
+    for rep in replays.values():
+        buckets = rep.bucket_counts()
+        assert sum(buckets.values()) == rep.sampled
+        # All four non-benefit buckets are populated, as in Table 10.
+        assert buckets["cross_sw"] > 0
+        assert buckets["conform"] > 0
+        assert buckets["good"] > 0
+
+
+def test_table11_constraints(benchmark, evaluation):
+    table = benchmark(evaluation.table11)
+    emit(table)
+    counts = {
+        res.system.name: res.spex.constraint_counts()
+        for res in evaluation.results()
+    }
+    # Basic types are inferred for (nearly) every parameter; semantic
+    # types only where known APIs are contacted - so fewer (§4.3).
+    for name, c in counts.items():
+        assert c["basic"] >= c["semantic"], name
+    # OpenLDAP infers no control dependencies (N/A row of Table 12).
+    assert counts["openldap"]["ctrl_dep"] == 0
+    # VSFTP has by far the most control dependencies (68 in Table 11).
+    deps = {k: c["ctrl_dep"] for k, c in counts.items()}
+    assert deps["vsftpd"] == max(deps.values())
+    # MySQL carries the flagship value relationship (ft word lengths).
+    assert counts["mysql"]["value_rel"] >= 1
+    total = sum(sum(c.values()) for c in counts.values())
+    assert total > 250  # a few hundred constraints across the fleet
+
+
+def test_table12_accuracy(benchmark, evaluation):
+    table = benchmark(evaluation.table12)
+    emit(table)
+    by_name = {res.system.name: res.accuracy for res in evaluation.results()}
+    # Overall accuracy above 90% for most systems (§4.3)...
+    high = [
+        name
+        for name, acc in by_name.items()
+        if acc.overall() is not None and acc.overall() >= 0.9
+    ]
+    assert len(high) >= 4
+    # ... with OpenLDAP's pointer aliasing halving value-relationship
+    # accuracy (50.0% in the paper's row).
+    assert by_name["openldap"].accuracy("value_rel") == 0.5
+    # VSFTP's control-dependency accuracy is the lowest (63.9% paper).
+    dep_accs = {
+        name: acc.accuracy("ctrl_dep")
+        for name, acc in by_name.items()
+        if acc.accuracy("ctrl_dep") is not None
+    }
+    assert min(dep_accs, key=dep_accs.get) == "vsftpd"

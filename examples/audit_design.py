@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Audit configuration design for error-prone patterns (§3.2).
+
+Runs the five design-lint detectors over the Squid and Apache
+miniatures and prints the Figure 6-class findings: case-sensitivity
+inconsistency, unit-granularity inconsistency, silent overruling,
+unsafe transformation APIs, and undocumented constraints.
+
+Run:  python examples/audit_design.py
+"""
+
+from repro.inject.campaign import Campaign
+from repro.lint import lint_system
+from repro.systems import get_system
+
+
+def audit(name: str) -> None:
+    system = get_system(name)
+    spex = Campaign(system).run_spex()
+    lint = lint_system(system, spex)
+
+    print(f"=== {system.display_name} ===")
+    cs = lint.case_sensitivity
+    verdict = "INCONSISTENT" if cs.inconsistent else "consistent"
+    print(f"Case sensitivity: {len(cs.sensitive)} sensitive vs "
+          f"{len(cs.insensitive)} insensitive -> {verdict}")
+    if cs.inconsistent:
+        print(f"  fix candidates (minority side): {cs.minority}")
+
+    for dimension in ("size", "time"):
+        dist = lint.units.distribution(dimension)
+        if not dist:
+            continue
+        text = ", ".join(f"{n} in {u}" for u, n in sorted(dist.items(), key=str))
+        flag = " <- INCONSISTENT" if len(dist) > 1 else ""
+        print(f"Units ({dimension}): {text}{flag}")
+
+    if lint.overruling.params:
+        print(f"Silently overruled parameters (Figure 6c): "
+              f"{', '.join(lint.overruling.params)}")
+    if lint.unsafe.affected:
+        apis = sorted({a for s in lint.unsafe.params.values() for a in s})
+        print(f"Unsafe transformation APIs ({', '.join(apis)}) behind "
+              f"{len(lint.unsafe.affected)} parameters")
+    undoc = lint.undocumented
+    print(f"Undocumented constraints: {len(undoc.ranges)} ranges, "
+          f"{len(undoc.control_deps)} control deps, "
+          f"{len(undoc.value_rels)} value relationships")
+    print(f"Total error-prone findings: {lint.error_prone_count()}")
+    print()
+
+
+def main() -> None:
+    for name in ("squid", "apache"):
+        audit(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Taint seeds: where a configuration parameter's value lives.
+
+The three mapping toolkits (structure / comparison / container,
+§2.2.1) all reduce to these seed forms:
+
+* :class:`GlobalSeed`   - a global variable or a field of one
+  (structure-based mapping, comparison-based stores to globals);
+* :class:`ParamSeed`    - a function parameter or a field reached
+  through a pointer parameter (structure-based mapping to parsing
+  functions, OpenLDAP's ``ConfigArgs *c`` hybrid);
+* :class:`GetterSpec`   - a getter function whose string-keyed calls
+  yield parameter values (container-based mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GlobalSeed:
+    """Parameter `param` is stored in global `var` (at field `path`)."""
+
+    param: str
+    var: str
+    path: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ParamSeed:
+    """Parameter `param` arrives as `function`'s argument `param_name`
+    (optionally at a struct field path through a pointer param)."""
+
+    param: str
+    function: str
+    param_name: str
+    path: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GetterSpec:
+    """Container-based mapping: ``get_i32("Connection.Retry.Interval")``.
+
+    Any call to `getter` whose `key_arg_index` argument is a string
+    constant taints the call result with that parameter name (after
+    `key_to_param` translation if the toolkit provides one).
+    """
+
+    getter: str
+    key_arg_index: int = 0
+
+
+Seed = GlobalSeed | ParamSeed

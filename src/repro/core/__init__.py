@@ -1,0 +1,44 @@
+"""SPEX: configuration-constraint inference from source code.
+
+The paper's primary contribution (§2).  Given a subject program, its
+mapping annotations and the API knowledge base, the engine:
+
+1. extracts parameter-to-variable mappings (the three toolkits of
+   §2.2.1 / Figure 4);
+2. runs the dataflow engine over the IR;
+3. infers constraints: basic/semantic data types (§2.2.2), data ranges
+   with validity (§2.2.3), control dependencies with MAY-belief
+   filtering (§2.2.4), and value relationships with bounded
+   transitivity (§2.2.5).
+"""
+
+from repro.core.annotations import Annotation, parse_annotations
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    Constraint,
+    ConstraintKind,
+    ConstraintSet,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+from repro.core.engine import SpexEngine, SpexOptions, SpexReport
+
+__all__ = [
+    "Annotation",
+    "BasicTypeConstraint",
+    "Constraint",
+    "ConstraintKind",
+    "ConstraintSet",
+    "ControlDepConstraint",
+    "EnumRangeConstraint",
+    "NumericRangeConstraint",
+    "SemanticTypeConstraint",
+    "SpexEngine",
+    "SpexOptions",
+    "SpexReport",
+    "ValueRelConstraint",
+    "parse_annotations",
+]

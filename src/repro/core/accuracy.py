@@ -1,0 +1,121 @@
+"""Inference-accuracy scoring against ground truth (Table 12).
+
+The paper's authors "manually and carefully examined all of the 3800
+constraints" - here each subject system ships a ground-truth constraint
+list, and accuracy per kind = true inferred / all inferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    Constraint,
+    ConstraintSet,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+
+
+@dataclass(frozen=True)
+class TruthEntry:
+    """One ground-truth constraint in comparable form."""
+
+    param: str
+    kind: str  # basic | semantic | range | ctrl_dep | value_rel
+    detail: object = None
+
+
+def truth_basic(param: str, type_str: str) -> TruthEntry:
+    return TruthEntry(param, "basic", type_str)
+
+
+def truth_semantic(param: str, semantic: str) -> TruthEntry:
+    return TruthEntry(param, "semantic", semantic)
+
+
+def truth_range(param: str) -> TruthEntry:
+    return TruthEntry(param, "range")
+
+
+def truth_ctrl_dep(param: str, dep_param: str) -> TruthEntry:
+    return TruthEntry(param, "ctrl_dep", dep_param)
+
+
+def truth_value_rel(param: str, other: str) -> TruthEntry:
+    pair = tuple(sorted((param, other)))
+    return TruthEntry(pair[0], "value_rel", pair[1])
+
+
+def _normalize_type(type_obj) -> str:
+    from repro.lang import types as ct
+
+    if type_obj.is_string:
+        return "string"
+    if isinstance(type_obj, ct.BoolType):
+        return "bool"
+    if isinstance(type_obj, ct.IntType):
+        return "int" if type_obj.bits == 32 else str(type_obj)
+    return str(type_obj)
+
+
+def _comparable(constraint: Constraint) -> TruthEntry | None:
+    if isinstance(constraint, BasicTypeConstraint):
+        return truth_basic(constraint.param, _normalize_type(constraint.type))
+    if isinstance(constraint, SemanticTypeConstraint):
+        return truth_semantic(constraint.param, str(constraint.semantic))
+    if isinstance(constraint, (NumericRangeConstraint, EnumRangeConstraint)):
+        return truth_range(constraint.param)
+    if isinstance(constraint, ControlDepConstraint):
+        return truth_ctrl_dep(constraint.param, constraint.dep_param)
+    if isinstance(constraint, ValueRelConstraint):
+        return truth_value_rel(constraint.param, constraint.other_param)
+    return None
+
+
+@dataclass
+class AccuracyReport:
+    """Per-kind accuracy for one system."""
+
+    system: str
+    per_kind: dict[str, tuple[int, int]] = field(default_factory=dict)
+    false_positives: list[Constraint] = field(default_factory=list)
+
+    def accuracy(self, kind: str) -> float | None:
+        true_count, total = self.per_kind.get(kind, (0, 0))
+        if total == 0:
+            return None
+        return true_count / total
+
+    def overall(self) -> float | None:
+        true_total = sum(t for t, _ in self.per_kind.values())
+        total = sum(n for _, n in self.per_kind.values())
+        if total == 0:
+            return None
+        return true_total / total
+
+
+def score_accuracy(
+    system: str,
+    constraints: ConstraintSet,
+    truth: list[TruthEntry],
+) -> AccuracyReport:
+    truth_set = set(truth)
+    report = AccuracyReport(system=system)
+    counters: dict[str, list[int]] = {}
+    for constraint in constraints:
+        entry = _comparable(constraint)
+        if entry is None:
+            continue
+        bucket = counters.setdefault(entry.kind, [0, 0])
+        bucket[1] += 1
+        if entry in truth_set:
+            bucket[0] += 1
+        else:
+            report.false_positives.append(constraint)
+    report.per_kind = {k: (v[0], v[1]) for k, v in counters.items()}
+    return report

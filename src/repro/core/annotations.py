@@ -1,0 +1,202 @@
+"""The annotation language of Figure 4.
+
+Developers annotate the *mapping interface*, not every mapping pair
+(§2.2.1).  The concrete syntax follows the paper's figure:
+
+Structure-based (direct)::
+
+    { @STRUCT = ConfigureNamesInt
+      @PAR = [config_int, 1]
+      @VAR = [config_int, 3] }
+
+Structure-based (parsing function)::
+
+    { @STRUCT = core_cmds
+      @PAR = [command_rec, 1]
+      @VAR = ([command_rec, 2], $arg) }
+
+Comparison-based::
+
+    { @PARSER = loadServerConfig
+      @PAR = $key
+      @VAR = $value }
+
+Container-based::
+
+    { @GETTER = get_i32
+      @PAR = 1
+      @VAR = $RET }
+
+Field indices are 1-based, matching the figure.  Lines of annotation
+(LoA, Table 4) = number of ``@`` lines.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class AnnotationError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class StructAnnotation:
+    """Mapping table `table`: parameter name in field `par_index`,
+    config variable in field `var_index`.  If `handler_arg` is set the
+    var field holds a parsing function and the value arrives in its
+    parameter named `handler_arg` (Figure 4b).
+
+    `min_index`/`max_index` mark GUC-style tables (§5.2: Storage-A,
+    MySQL and PostgreSQL keep per-parameter minimum/maximum in the
+    mapping structure itself); the toolkit lifts them into range
+    constraints directly."""
+
+    table: str
+    struct: str
+    par_index: int  # 1-based
+    var_index: int  # 1-based
+    handler_arg: str | None = None
+    min_index: int | None = None
+    max_index: int | None = None
+
+    @property
+    def convention(self) -> str:
+        return "structure"
+
+
+@dataclass(frozen=True)
+class ParserAnnotation:
+    """Comparison-based parser `function` matching names from variable
+    `par_var` and reading values from variable `var_var` (Figure 4c)."""
+
+    function: str
+    par_var: str
+    var_var: str
+
+    @property
+    def convention(self) -> str:
+        return "comparison"
+
+
+@dataclass(frozen=True)
+class GetterAnnotation:
+    """Container getter `function`: parameter name is string argument
+    number `par_index` (1-based), value is the return (Figure 4d)."""
+
+    function: str
+    par_index: int = 1
+
+    @property
+    def convention(self) -> str:
+        return "container"
+
+
+Annotation = StructAnnotation | ParserAnnotation | GetterAnnotation
+
+_FIELD_REF = re.compile(r"\[\s*(\w+)\s*,\s*(\d+)\s*\]")
+_FUNC_VAR = re.compile(r"\(\s*\[\s*(\w+)\s*,\s*(\d+)\s*\]\s*,\s*\$(\w+)\s*\)")
+
+
+def parse_annotations(text: str) -> tuple[list[Annotation], int]:
+    """Parse annotation blocks; returns (annotations, lines_of_annotation)."""
+    annotations: list[Annotation] = []
+    loa = sum(1 for line in text.splitlines() if "@" in line)
+    for block in _split_blocks(text):
+        annotations.append(_parse_block(block))
+    return annotations, loa
+
+
+def _split_blocks(text: str) -> list[dict[str, str]]:
+    blocks: list[dict[str, str]] = []
+    current: dict[str, str] | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("{"):
+            current = {}
+            line = line[1:].strip()
+        if current is None and line.startswith("@"):
+            current = {}
+        closing = line.endswith("}")
+        if closing:
+            line = line[:-1].strip()
+        if line.startswith("@") and current is not None:
+            # Several @KEY = VALUE pairs may share one line.
+            for part in re.split(r"\s+(?=@)", line):
+                if not part.startswith("@"):
+                    continue
+                key, _, value = part.partition("=")
+                current[key.strip().lstrip("@").upper()] = value.strip()
+        if closing and current is not None:
+            blocks.append(current)
+            current = None
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def _parse_block(block: dict[str, str]) -> Annotation:
+    if "STRUCT" in block:
+        return _parse_struct(block)
+    if "PARSER" in block:
+        return _parse_parser(block)
+    if "GETTER" in block:
+        return _parse_getter(block)
+    raise AnnotationError(f"annotation block needs @STRUCT/@PARSER/@GETTER: {block}")
+
+
+def _parse_struct(block: dict[str, str]) -> StructAnnotation:
+    table = block["STRUCT"]
+    par = _FIELD_REF.search(block.get("PAR", ""))
+    if par is None:
+        raise AnnotationError(f"@PAR must be [struct, index]: {block.get('PAR')}")
+
+    def _optional_index(key: str) -> int | None:
+        ref = _FIELD_REF.search(block.get(key, ""))
+        return int(ref.group(2)) if ref else None
+
+    min_index = _optional_index("MIN")
+    max_index = _optional_index("MAX")
+    var_text = block.get("VAR", "")
+    func_var = _FUNC_VAR.search(var_text)
+    if func_var is not None:
+        return StructAnnotation(
+            table=table,
+            struct=par.group(1),
+            par_index=int(par.group(2)),
+            var_index=int(func_var.group(2)),
+            handler_arg=func_var.group(3),
+            min_index=min_index,
+            max_index=max_index,
+        )
+    var = _FIELD_REF.search(var_text)
+    if var is None:
+        raise AnnotationError(f"@VAR must be [struct, index] or ([...], $arg): {var_text}")
+    return StructAnnotation(
+        table=table,
+        struct=par.group(1),
+        par_index=int(par.group(2)),
+        var_index=int(var.group(2)),
+        min_index=min_index,
+        max_index=max_index,
+    )
+
+
+def _parse_parser(block: dict[str, str]) -> ParserAnnotation:
+    par = block.get("PAR", "").strip()
+    var = block.get("VAR", "").strip()
+    if not par.startswith("$") or not var.startswith("$"):
+        raise AnnotationError("@PARSER blocks need $-prefixed @PAR and @VAR")
+    return ParserAnnotation(
+        function=block["PARSER"],
+        par_var=par[1:],
+        var_var=var[1:],
+    )
+
+
+def _parse_getter(block: dict[str, str]) -> GetterAnnotation:
+    par = block.get("PAR", "1").strip()
+    return GetterAnnotation(function=block["GETTER"], par_index=int(par))

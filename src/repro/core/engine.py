@@ -1,0 +1,157 @@
+"""SPEX engine: program + annotations -> constraints.
+
+Two passes over the code, as in the paper (§2.2): the dataflow engine
+first resolves each parameter's dataflow and single-parameter facts
+(types, ranges); the multi-parameter passes (control dependencies,
+value relationships) then work on the recorded events of each
+parameter's slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import AnalysisResult, TaintEngine, TaintOptions
+from repro.core.annotations import Annotation, parse_annotations
+from repro.core.constraints import ConstraintSet
+from repro.core.infer_controldep import infer_control_deps
+from repro.core.infer_range import infer_enum_ranges, infer_numeric_ranges
+from repro.core.infer_types import (
+    case_sensitivity_map,
+    infer_basic_types,
+    infer_semantic_types,
+)
+from repro.core.infer_valuerel import infer_value_relationships
+from repro.core.mapping import MappingResult, extract_mappings
+from repro.ir import build_ir
+from repro.ir.function import IRModule
+from repro.knowledge import ApiKnowledge, default_knowledge
+from repro.lang.program import Program
+
+
+@dataclass
+class SpexOptions:
+    """Inference knobs; defaults follow the paper."""
+
+    maybelief_threshold: float = 0.75  # §2.2.4
+    value_rel_transit_hops: int = 1  # §2.2.5, "one intermediate variable"
+    taint: TaintOptions = field(default_factory=TaintOptions)
+    # Disabling passes supports the ablation benchmarks.
+    enable_types: bool = True
+    enable_ranges: bool = True
+    enable_control_deps: bool = True
+    enable_value_rels: bool = True
+
+
+@dataclass
+class SpexReport:
+    """Output of one SPEX run over one subject system."""
+
+    system: str
+    constraints: ConstraintSet
+    analysis: AnalysisResult
+    module: IRModule
+    mapping: MappingResult
+    lines_of_annotation: int = 0
+    parameters: set[str] = field(default_factory=set)
+    case_sensitivity: dict[str, bool] = field(default_factory=dict)
+
+    def constraint_counts(self) -> dict[str, int]:
+        from repro.core.constraints import (
+            BasicTypeConstraint,
+            ControlDepConstraint,
+            EnumRangeConstraint,
+            NumericRangeConstraint,
+            SemanticTypeConstraint,
+            ValueRelConstraint,
+        )
+
+        counts = {"basic": 0, "semantic": 0, "range": 0, "ctrl_dep": 0, "value_rel": 0}
+        for c in self.constraints:
+            if isinstance(c, BasicTypeConstraint):
+                counts["basic"] += 1
+            elif isinstance(c, SemanticTypeConstraint):
+                counts["semantic"] += 1
+            elif isinstance(c, (NumericRangeConstraint, EnumRangeConstraint)):
+                counts["range"] += 1
+            elif isinstance(c, ControlDepConstraint):
+                counts["ctrl_dep"] += 1
+            elif isinstance(c, ValueRelConstraint):
+                counts["value_rel"] += 1
+        return counts
+
+
+class SpexEngine:
+    """Run constraint inference over one MiniC program."""
+
+    def __init__(
+        self,
+        program: Program,
+        annotations: str | list[Annotation],
+        knowledge: ApiKnowledge | None = None,
+        options: SpexOptions | None = None,
+    ):
+        self.program = program
+        self.knowledge = knowledge or default_knowledge()
+        self.options = options or SpexOptions()
+        if isinstance(annotations, str):
+            self.annotations, self.loa = parse_annotations(annotations)
+        else:
+            self.annotations = annotations
+            self.loa = 0
+
+    def run(self) -> SpexReport:
+        module = build_ir(self.program)
+        mapping = extract_mappings(module, self.annotations, self.knowledge)
+        engine = TaintEngine(
+            module,
+            mapping.seeds,
+            mapping.getters,
+            knowledge=self.knowledge,
+            options=self.options.taint,
+        )
+        analysis = engine.run()
+
+        constraints = ConstraintSet(system=self.program.name)
+        if self.options.enable_ranges:
+            # Constraints the mapping toolkits produced directly:
+            # GUC-table min/max columns and comparison-region enum
+            # ladders (the raw value token is only visible there).
+            for constraint in mapping.direct_constraints:
+                constraints.add(constraint)
+        if self.options.enable_types:
+            infer_basic_types(
+                analysis, constraints, mapping.declared_types, self.knowledge
+            )
+            infer_semantic_types(analysis, constraints, self.knowledge)
+        if self.options.enable_ranges:
+            infer_numeric_ranges(analysis, constraints, self.knowledge)
+            infer_enum_ranges(analysis, constraints, self.knowledge)
+        if self.options.enable_control_deps:
+            infer_control_deps(
+                analysis, constraints, self.options.maybelief_threshold
+            )
+        if self.options.enable_value_rels:
+            infer_value_relationships(
+                analysis, constraints, self.options.value_rel_transit_hops
+            )
+
+        parameters = {
+            p for p in analysis.parameters if not p.startswith("__SPEX_")
+        }
+        parameters |= mapping.declared_params
+        sensitivity = dict(mapping.case_sensitivity)
+        for param, sensitive in case_sensitivity_map(analysis).items():
+            if param.startswith("__SPEX_"):
+                continue
+            sensitivity[param] = sensitivity.get(param, False) or sensitive
+        return SpexReport(
+            system=self.program.name,
+            constraints=constraints,
+            analysis=analysis,
+            module=module,
+            mapping=mapping,
+            lines_of_annotation=self.loa,
+            parameters=parameters,
+            case_sensitivity=sensitivity,
+        )

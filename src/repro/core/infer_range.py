@@ -1,0 +1,316 @@
+"""Data-range inference (§2.2.3).
+
+Numeric ranges come from comparisons of a parameter against constants
+in conditional branches; enumerative ranges from ``switch`` statements
+and ``strcmp``-ladders.  For every inferred range segment, SPEX
+decides validity by the behaviour of the guarded region: "If in the
+branch block, the program exits, aborts, returns error code, or resets
+the parameter, SPEX treats the range as invalid."  The default of a
+switch / the final else of a ladder is also invalid.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis import AnalysisResult
+from repro.analysis.events import (
+    BranchCondEvent,
+    StoreEvent,
+    StringCompareEvent,
+    SwitchCaseEvent,
+)
+from repro.core.constraints import (
+    Behavior,
+    ConstraintSet,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+)
+from repro.core.events_util import canonical_branch_events, canonical_events, flip_op
+from repro.ir.instructions import Call, Ret
+from repro.ir.values import Const
+from repro.knowledge import ApiKnowledge
+from repro.lang.source import Location
+
+_MAX_HOPS = 2  # `int v = atoi(arg); if (v < 1)` is one copy away
+
+
+@dataclass
+class RegionBehavior:
+    """What a guarded region does (worst behaviour wins)."""
+
+    behavior: str = Behavior.NONE
+
+    @property
+    def is_invalid(self) -> bool:
+        return self.behavior != Behavior.NONE
+
+
+def region_behavior(
+    result: AnalysisResult,
+    knowledge: ApiKnowledge,
+    function: str,
+    blocks: set[str],
+    param: str,
+    reset_targets: set | None = None,
+) -> RegionBehavior:
+    """Scan a control region for exit / error-return / param-reset.
+
+    `reset_targets` are storage locations known to hold the parameter
+    (the destinations the match arms of an enum ladder write); a
+    constant store to one of them inside the region is a reset even
+    though the tainted value itself died at the comparison.
+    """
+    if not blocks:
+        return RegionBehavior()
+    fn = result.module.function(function)
+    behavior = Behavior.NONE
+    for label in blocks:
+        block = fn.blocks.get(label)
+        if block is None:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, Call):
+                spec = knowledge.get(inst.callee)
+                if spec is not None and spec.exits_process:
+                    return RegionBehavior(Behavior.EXIT)
+            if isinstance(inst, Ret) and _is_error_return(inst):
+                behavior = behavior or Behavior.ERROR_RETURN
+    for store in result.events_of(StoreEvent):
+        if store.function != function or store.block not in blocks:
+            continue
+        if not store.src_is_const:
+            continue
+        # Only a store into the parameter's own storage (hop count 0)
+        # is a reset; clamping a local working copy does not change
+        # the configured value.
+        if param in store.target_labels.within_hops(0):
+            behavior = Behavior.RESET
+        elif reset_targets and store.target in reset_targets:
+            behavior = Behavior.RESET
+    return RegionBehavior(behavior)
+
+
+def _is_error_return(inst: Ret) -> bool:
+    if inst.value is None:
+        return False
+    if isinstance(inst.value, Const):
+        value = inst.value.value
+        if value is None:
+            return True  # return NULL
+        if isinstance(value, int) and value < 0:
+            return True
+    return False
+
+
+def infer_numeric_ranges(
+    result: AnalysisResult,
+    constraints: ConstraintSet,
+    knowledge: ApiKnowledge,
+) -> None:
+    # Per parameter: accumulate invalid-below / invalid-above bounds.
+    bounds: dict[str, dict] = defaultdict(
+        lambda: {
+            "lo": None,
+            "hi": None,
+            "below": Behavior.NONE,
+            "above": Behavior.NONE,
+            "loc": None,
+        }
+    )
+    for event in canonical_branch_events(result.events_of(BranchCondEvent)):
+        oriented = _orient_numeric(event)
+        if oriented is None:
+            continue
+        param, op, const = oriented
+        if not isinstance(const, (int, float)) or isinstance(const, bool):
+            continue
+        cfg = result.cfg(event.function)
+        for edge, holds_op in (
+            (event.true_label, op),
+            (event.false_label, _negate(op)),
+        ):
+            region = cfg.controlled_by(event.block, edge)
+            behavior = region_behavior(result, knowledge, event.function, region, param)
+            if not behavior.is_invalid:
+                continue
+            _mark_invalid(bounds[param], holds_op, const, behavior.behavior, event.location)
+
+    for param, info in sorted(bounds.items()):
+        if info["lo"] is None and info["hi"] is None:
+            continue
+        constraints.add(
+            NumericRangeConstraint(
+                param,
+                info["loc"] or Location("<inferred>", 0, 0),
+                valid_lo=info["lo"],
+                valid_hi=info["hi"],
+                below_behavior=info["below"],
+                above_behavior=info["above"],
+            )
+        )
+
+
+def _orient_numeric(event: BranchCondEvent):
+    """Return (param, op, const) with the parameter on the left."""
+    left_names = event.left.labels.within_hops(_MAX_HOPS)
+    right_names = event.right.labels.within_hops(_MAX_HOPS)
+    if left_names and event.right.is_const and not right_names:
+        return (sorted(left_names)[0], event.op, event.right.const)
+    if right_names and event.left.is_const and not left_names:
+        return (sorted(right_names)[0], flip_op(event.op), event.left.const)
+    return None
+
+
+def _negate(op: str) -> str:
+    return {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}[op]
+
+
+def _mark_invalid(info: dict, op: str, const, behavior: str, loc: Location) -> None:
+    """`param op const` is an invalid region with `behavior`."""
+    if info["loc"] is None:
+        info["loc"] = loc
+    if op == "<":
+        info["lo"] = _max(info["lo"], const)
+        info["below"] = behavior
+    elif op == "<=":
+        info["lo"] = _max(info["lo"], const + 1)
+        info["below"] = behavior
+    elif op == ">":
+        info["hi"] = _min(info["hi"], const)
+        info["above"] = behavior
+    elif op == ">=":
+        info["hi"] = _min(info["hi"], const - 1)
+        info["above"] = behavior
+    # == / != invalid points are not representable in the single
+    # interval model and are rare in practice; skipped.
+
+
+def _max(current, value):
+    return value if current is None else max(current, value)
+
+
+def _min(current, value):
+    return value if current is None else min(current, value)
+
+
+def infer_enum_ranges(
+    result: AnalysisResult,
+    constraints: ConstraintSet,
+    knowledge: ApiKnowledge,
+) -> None:
+    _infer_switch_enums(result, constraints, knowledge)
+    _infer_strcmp_ladders(result, constraints, knowledge)
+
+
+def _infer_switch_enums(result, constraints, knowledge) -> None:
+    for event in canonical_events(
+        result.events_of(SwitchCaseEvent), lambda e: (e.function, e.block)
+    ):
+        values = tuple(v for v, _ in event.cases)
+        if not values:
+            continue
+        param = sorted(event.labels.within_hops(_MAX_HOPS) or event.labels.names())[0]
+        behavior = Behavior.NONE
+        if event.default_label is not None:
+            cfg = result.cfg(event.function)
+            region = cfg.controlled_by(event.block, event.default_label) | {
+                event.default_label
+            }
+            behavior = region_behavior(
+                result, knowledge, event.function, region, param
+            ).behavior
+        constraints.add(
+            EnumRangeConstraint(
+                param,
+                event.location,
+                values=values,
+                case_sensitive=True,
+                default_behavior=behavior,
+                silently_overruled=behavior == Behavior.RESET,
+            )
+        )
+
+
+def _infer_strcmp_ladders(result, constraints, knowledge) -> None:
+    """if/else-if ladders of strcmp(param, "value") checks."""
+    branch_index = {}
+    for event in canonical_branch_events(result.events_of(BranchCondEvent)):
+        if event.cond_temp >= 0:
+            branch_index[(event.function, event.cond_temp)] = event
+
+    ladders: dict[tuple[str, str], list] = defaultdict(list)
+    for compare in canonical_events(
+        result.events_of(StringCompareEvent),
+        lambda e: (e.function, e.location, e.const_other),
+    ):
+        if compare.const_other is None:
+            continue
+        names = compare.labels.within_hops(_MAX_HOPS)
+        if not names:
+            continue
+        param = sorted(names)[0]
+        if param.startswith("__SPEX_"):
+            continue
+        ladders[(compare.function, param)].append(compare)
+
+    store_events = result.events_of(StoreEvent)
+    for (function, param), compares in sorted(ladders.items()):
+        values = tuple(dict.fromkeys(c.const_other for c in compares))
+        case_sensitive = any(c.case_sensitive for c in compares)
+        cfg = result.cfg(function)
+        # Destinations the match arms write: a const store to one of
+        # them in the final else is a silent overrule (Figure 6c).
+        match_targets: set = set()
+        for compare in compares:
+            branch = branch_index.get((function, compare.dest_temp))
+            if branch is None:
+                continue
+            eq_edge = _match_edge(branch)
+            if eq_edge is None:
+                continue
+            eq_region = cfg.controlled_by(branch.block, eq_edge)
+            for store in store_events:
+                if store.function == function and store.block in eq_region:
+                    match_targets.add(store.target)
+        # The final else: the non-match region of the last compare in
+        # the ladder that is not followed by further compares.
+        last = max(compares, key=lambda c: (c.location.line, c.location.column))
+        behavior = Behavior.NONE
+        branch = branch_index.get((function, last.dest_temp))
+        if branch is not None:
+            neq_edge = _nonmatch_edge(branch)
+            if neq_edge is not None:
+                region = cfg.controlled_by(branch.block, neq_edge)
+                behavior = region_behavior(
+                    result, knowledge, function, region, param, match_targets
+                ).behavior
+        constraints.add(
+            EnumRangeConstraint(
+                param,
+                compares[0].location,
+                values=values,
+                case_sensitive=case_sensitive,
+                default_behavior=behavior,
+                silently_overruled=behavior == Behavior.RESET,
+            )
+        )
+
+
+def _nonmatch_edge(branch: BranchCondEvent) -> str | None:
+    if branch.right.is_const and branch.right.const == 0:
+        if branch.op == "==":
+            return branch.false_label
+        if branch.op == "!=":
+            return branch.true_label
+    return None
+
+
+def _match_edge(branch: BranchCondEvent) -> str | None:
+    if branch.right.is_const and branch.right.const == 0:
+        if branch.op == "==":
+            return branch.true_label
+        if branch.op == "!=":
+            return branch.false_label
+    return None

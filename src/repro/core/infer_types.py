@@ -1,0 +1,208 @@
+"""Data-type inference (§2.2.2).
+
+Basic types: the declared type of the mapped variable when it is
+already concrete; otherwise the type after the *first* cast on the
+dataflow path ("it is common for a parameter to be first stored as a
+string before being transformed into its real type"), falling back to
+the return type of a known conversion API.
+
+Semantic types: known API contact anywhere on the dataflow path, even
+after modification ("a file path after canonicalization is still used
+as a file path") - so no hop limit.  Units come from the API's unit
+adjusted by constant scaling on the path (Figure 6b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis import AnalysisResult
+from repro.analysis.events import CallArgEvent, CastEvent, ScaleEvent, StringCompareEvent
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    ConstraintSet,
+    SemanticTypeConstraint,
+)
+from repro.core.events_util import canonical_events
+from repro.knowledge import ApiKnowledge, SemanticType, Unit
+from repro.knowledge.semantic import SIZE_UNITS, TIME_UNITS
+from repro.lang import types as ct
+from repro.lang.source import UNKNOWN_LOCATION, Location
+
+
+def infer_basic_types(
+    result: AnalysisResult,
+    constraints: ConstraintSet,
+    declared_types: dict[str, ct.CType],
+    knowledge: ApiKnowledge,
+) -> None:
+    casts: dict[str, list[CastEvent]] = defaultdict(list)
+    for event in result.events_of(CastEvent):
+        for name, hops in event.labels.entries:
+            casts[name].append(event)
+
+    conversions: dict[str, list[tuple[Location, ct.CType]]] = defaultdict(list)
+    for event in result.events_of(CallArgEvent):
+        spec = knowledge.get(event.callee)
+        if spec is None or spec.return_basic is None:
+            continue
+        if not (spec.unsafe_transform or spec.safe_transform):
+            continue
+        for name in event.labels.names():
+            conversions[name].append((event.location, spec.return_basic))
+
+    for param in sorted(result.parameters):
+        declared = declared_types.get(param)
+        if (
+            declared is not None
+            and not _is_stringish(declared)
+            and not _is_aggregate(declared)
+        ):
+            constraints.add(
+                BasicTypeConstraint(param, UNKNOWN_LOCATION, _strip_pointer(declared))
+            )
+            continue
+        cast_events = casts.get(param, [])
+        if cast_events:
+            first = min(
+                cast_events,
+                key=lambda e: (min(h for _, h in e.labels.entries), _loc_key(e.location)),
+            )
+            constraints.add(BasicTypeConstraint(param, first.location, first.type))
+            continue
+        conv = conversions.get(param, [])
+        if conv:
+            loc, typ = min(conv, key=lambda pair: _loc_key(pair[0]))
+            constraints.add(BasicTypeConstraint(param, loc, typ))
+            continue
+        if declared is not None and not _is_aggregate(declared):
+            constraints.add(BasicTypeConstraint(param, UNKNOWN_LOCATION, declared))
+            continue
+        # Last resort (parameters behind opaque handler structs): type
+        # from how the value is used - numeric comparisons/arithmetic
+        # mean integer, string compares mean string.
+        usage_type = _type_from_usage(result, param)
+        if usage_type is not None:
+            constraints.add(BasicTypeConstraint(param, UNKNOWN_LOCATION, usage_type))
+
+
+def _is_aggregate(typ: ct.CType) -> bool:
+    inner = typ.pointee if isinstance(typ, ct.PointerType) else typ
+    return isinstance(inner, (ct.StructType, ct.ArrayType))
+
+
+def _type_from_usage(result: AnalysisResult, param: str) -> ct.CType | None:
+    from repro.analysis.events import BranchCondEvent
+
+    for event in result.events_of(StringCompareEvent):
+        if param in event.labels.names():
+            from repro.lang.types import STRING
+
+            return STRING
+    for event in result.events_of(BranchCondEvent):
+        sides = event.left.labels.names() | event.right.labels.names()
+        if param in sides:
+            const = event.right.const if event.right.is_const else event.left.const
+            if isinstance(const, int):
+                return ct.INT
+    for event in result.events_of(CallArgEvent):
+        if param in event.labels.names():
+            return ct.INT
+    return None
+
+
+def _is_stringish(typ: ct.CType) -> bool:
+    return typ.is_string or (
+        isinstance(typ, ct.PointerType) and typ.pointee.is_string
+    )
+
+
+def _strip_pointer(typ: ct.CType) -> ct.CType:
+    # An int* mapping entry stores the parameter's value behind one
+    # pointer; the parameter's own type is the pointee.
+    if isinstance(typ, ct.PointerType) and not typ.is_string:
+        return typ.pointee
+    return typ
+
+
+def _loc_key(loc: Location) -> tuple:
+    return (loc.filename, loc.line, loc.column)
+
+
+def infer_semantic_types(
+    result: AnalysisResult,
+    constraints: ConstraintSet,
+    knowledge: ApiKnowledge,
+) -> None:
+    # Keyed by parameter only: the scaling commonly happens in the
+    # parsing handler while the unit-bearing API sits elsewhere
+    # (Figure 6b: MaxMemFree scaled in its handler, allocated later).
+    scale_by_param: dict[str, set[float]] = defaultdict(set)
+    for event in result.events_of(ScaleEvent):
+        for name in event.labels.names():
+            scale_by_param[name].add(event.factor)
+
+    # param -> semantic -> (unit, first location)
+    found: dict[str, dict[SemanticType, tuple[Unit | None, Location]]] = defaultdict(dict)
+    for event in canonical_events(
+        result.events_of(CallArgEvent),
+        lambda e: (e.function, e.location, e.callee, e.arg_index),
+    ):
+        spec = knowledge.get(event.callee)
+        if spec is None:
+            continue
+        fact = spec.arg_fact(event.arg_index)
+        if fact is None or fact.semantic is None:
+            continue
+        for name in event.labels.names():
+            unit = fact.unit
+            if unit is not None:
+                factors = scale_by_param.get(name, set())
+                if len(factors) == 1:
+                    unit = _adjust_unit(unit, next(iter(factors)))
+            current = found[name].get(fact.semantic)
+            if current is None or _loc_key(event.location) < _loc_key(current[1]):
+                found[name][fact.semantic] = (unit, event.location)
+
+    sensitivity = case_sensitivity_map(result)
+    for param in sorted(found):
+        for semantic, (unit, location) in sorted(
+            found[param].items(), key=lambda kv: kv[0].value
+        ):
+            constraints.add(
+                SemanticTypeConstraint(
+                    param,
+                    location,
+                    semantic=semantic,
+                    unit=unit,
+                    case_sensitive=sensitivity.get(param),
+                )
+            )
+
+
+def _adjust_unit(api_unit: Unit, factor: float) -> Unit:
+    """param * factor flows into an api_unit argument: the parameter's
+    own unit has scale api_unit.scale * factor."""
+    if factor == 1 or factor <= 0:
+        return api_unit
+    target_scale = api_unit.scale * factor
+    candidates = SIZE_UNITS if api_unit.dimension == "size" else TIME_UNITS
+    for unit in candidates:
+        if abs(unit.scale - target_scale) < 1e-9 * max(unit.scale, target_scale):
+            return unit
+    return api_unit
+
+
+def case_sensitivity_map(result: AnalysisResult) -> dict[str, bool]:
+    """param -> compared case-sensitively?  strcmp anywhere wins over
+    strcasecmp (one sensitive comparison makes the requirement
+    sensitive); params never string-compared are absent.  Compares
+    against caseless constants ("1", "0", numbers) say nothing."""
+    out: dict[str, bool] = {}
+    for event in result.events_of(StringCompareEvent):
+        const = event.const_other
+        if const is not None and const.lower() == const.upper():
+            continue
+        for name in event.labels.names():
+            out[name] = out.get(name, False) or event.case_sensitive
+    return out

@@ -1,0 +1,168 @@
+"""Full injection campaign over one system: SPEX constraints in,
+vulnerability report out (the per-system row of Table 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core import SpexEngine, SpexOptions, SpexReport
+from repro.inject.generators import (
+    GeneratorRegistry,
+    Misconfiguration,
+    default_generators,
+)
+from repro.inject.harness import InjectionHarness, InjectionVerdict
+from repro.inject.reactions import ReactionCategory
+from repro.knowledge import default_knowledge
+from repro.lang.source import Location
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid the inject <-> systems import cycle
+    from repro.systems.base import SubjectSystem
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One confirmed bad reaction, attributable to a code location."""
+
+    system: str
+    param: str
+    category: ReactionCategory
+    rule: str
+    detail: str
+    injected: tuple[tuple[str, str], ...]
+    code_location: Location
+
+    def describe(self) -> str:
+        settings = ", ".join(f"{k}={v}" for k, v in self.injected)
+        return f"[{self.category}] {self.system}: {settings} -> {self.detail}"
+
+
+@dataclass
+class CampaignReport:
+    system: str
+    verdicts: list[InjectionVerdict] = field(default_factory=list)
+    vulnerabilities: list[Vulnerability] = field(default_factory=list)
+    misconfigurations_tested: int = 0
+    spex_report: SpexReport | None = None
+
+    def counts_by_category(self) -> dict[ReactionCategory, int]:
+        return Counter(v.category for v in self.vulnerabilities)
+
+    def unique_code_locations(self) -> set[tuple[str, int]]:
+        return {
+            (v.code_location.filename, v.code_location.line)
+            for v in self.vulnerabilities
+        }
+
+    def total(self) -> int:
+        return len(self.vulnerabilities)
+
+
+@dataclass
+class Campaign:
+    """spex -> generate -> inject -> classify, for one system."""
+
+    system: "SubjectSystem"
+    generators: GeneratorRegistry = field(default_factory=default_generators)
+    spex_options: SpexOptions = field(default_factory=SpexOptions)
+
+    def run_spex(self) -> SpexReport:
+        knowledge = default_knowledge()
+        if self.system.custom_knowledge:
+            knowledge = knowledge.extend(self.system.custom_knowledge)
+        engine = SpexEngine(
+            self.system.program(),
+            self.system.annotations,
+            knowledge=knowledge,
+            options=self.spex_options,
+        )
+        return engine.run()
+
+    def run(self, spex_report: SpexReport | None = None) -> CampaignReport:
+        report = CampaignReport(system=self.system.name)
+        report.spex_report = spex_report or self.run_spex()
+        template = self.system.template_ar()
+        misconfs = self.generators.generate(
+            report.spex_report.constraints, template
+        )
+        misconfs += self._case_alterations(report.spex_report, template)
+        harness = InjectionHarness(self.system)
+        report.misconfigurations_tested = len(misconfs)
+        # One vulnerability per (parameter, reaction, rule): several
+        # erroneous values of the same flavour expose the same hole.
+        seen: set[tuple] = set()
+        for misconf in misconfs:
+            verdict = harness.test_misconfiguration(misconf)
+            report.verdicts.append(verdict)
+            if not verdict.is_vulnerability:
+                continue
+            key = (
+                misconf.primary_param,
+                verdict.reaction.category,
+                misconf.rule,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            report.vulnerabilities.append(
+                self._vulnerability_from(misconf, verdict)
+            )
+        return report
+
+    def _case_alterations(self, spex_report: SpexReport, template):
+        """Case-altered values for parameters whose dataflow shows
+        case-SENSITIVE comparisons (the Figure 1 InitiatorName class:
+        'TARGET' vs the required lowercase).  Guided alteration in the
+        ConfErr spirit, targeted by inferred sensitivity."""
+        from repro.core.constraints import BasicTypeConstraint
+        from repro.lang.source import Location
+
+        out = []
+        basic_by_param = {
+            c.param: c for c in spex_report.constraints.basic_types()
+        }
+        for param, sensitive in sorted(spex_report.case_sensitivity.items()):
+            if not sensitive:
+                continue
+            current = template.get(param)
+            if not current or current.upper() == current:
+                continue
+            constraint = basic_by_param.get(param) or BasicTypeConstraint(
+                param, Location("<inferred>", 0, 0)
+            )
+            out.append(
+                Misconfiguration(
+                    settings=((param, current.upper()),),
+                    constraint=constraint,
+                    rule="case-alteration",
+                    description=(
+                        f"case-altered value for case-sensitively "
+                        f"compared parameter {param}"
+                    ),
+                )
+            )
+        return out
+
+    def _vulnerability_from(
+        self, misconf: Misconfiguration, verdict: InjectionVerdict
+    ) -> Vulnerability:
+        startup = verdict.startup_result
+        location = misconf.constraint.location
+        if (
+            startup is not None
+            and startup.fault_location is not None
+            and verdict.reaction.category is ReactionCategory.CRASH_HANG
+        ):
+            location = startup.fault_location
+        return Vulnerability(
+            system=self.system.name,
+            param=misconf.primary_param,
+            category=verdict.reaction.category,
+            rule=misconf.rule,
+            detail=verdict.reaction.detail,
+            injected=misconf.settings,
+            code_location=location,
+        )

@@ -1,0 +1,527 @@
+"""Misconfiguration generation rules (Table 2).
+
+"Every generation rule is implemented as a plug-in, which can be
+extended for customization."  Each plug-in maps one constraint kind to
+erroneous settings:
+
+=============  =====================================================
+Basic type     values with invalid basic types (garbage, overflow,
+               floats for ints, unit-suffixed numbers)
+Semantic type  invalid values specific to each semantic type
+Range          values exactly covering out of (and just inside) the
+               inferred range
+Control dep.   (P ⋄ V) ∧ Q for (P, V, ⋄) -> Q
+Value relat.   settings violating the relationship
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    Constraint,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+from repro.inject.ar import ConfigAR
+from repro.knowledge import SemanticType, Unit
+from repro.lang import types as ct
+
+
+@dataclass(frozen=True)
+class Misconfiguration:
+    """One injected configuration error (possibly multi-parameter)."""
+
+    settings: tuple[tuple[str, str], ...]  # (param, value) pairs
+    constraint: Constraint
+    rule: str
+    description: str
+
+    @property
+    def primary_param(self) -> str:
+        return self.settings[0][0]
+
+    def params(self) -> list[str]:
+        return [name for name, _ in self.settings]
+
+
+class GeneratorPlugin:
+    """Base class: one Table 2 rule."""
+
+    rule_name = "base"
+
+    def applies_to(self, constraint: Constraint) -> bool:
+        raise NotImplementedError
+
+    def generate(
+        self, constraint: Constraint, template: ConfigAR
+    ) -> list[Misconfiguration]:
+        raise NotImplementedError
+
+    def _make(self, constraint, description, *settings) -> Misconfiguration:
+        return Misconfiguration(
+            settings=tuple(settings),
+            constraint=constraint,
+            rule=self.rule_name,
+            description=description,
+        )
+
+
+class BasicTypeViolationPlugin(GeneratorPlugin):
+    rule_name = "basic-type"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, BasicTypeConstraint)
+
+    def generate(self, constraint, template):
+        typ = constraint.type
+        param = constraint.param
+        out = []
+        if isinstance(typ, ct.IntType):
+            out.append(
+                self._make(
+                    constraint,
+                    f"non-numeric value for integer parameter {param}",
+                    (param, "fast"),
+                )
+            )
+            overflow = (1 << typ.bits) + (1 << (typ.bits - 1)) + 424242
+            out.append(
+                self._make(
+                    constraint,
+                    f"overflows the {typ.bits}-bit storage of {param}",
+                    (param, str(overflow)),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"floating-point value for integer parameter {param}",
+                    (param, "12.5"),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"unit-suffixed value for plain integer parameter {param}",
+                    (param, "9G"),
+                )
+            )
+        elif isinstance(typ, ct.BoolType):
+            out.append(
+                self._make(
+                    constraint,
+                    f"non-boolean value for switch parameter {param}",
+                    (param, "maybe"),
+                )
+            )
+        elif isinstance(typ, ct.FloatType):
+            out.append(
+                self._make(
+                    constraint,
+                    f"non-numeric value for float parameter {param}",
+                    (param, "quick"),
+                )
+            )
+        return out
+
+
+class ExtremeValuePlugin(GeneratorPlugin):
+    """Type-valid but implausibly extreme values for integer
+    parameters: zero and a very large count.
+
+    These expose hard-coded limits that never made it into a check -
+    the paper's Figure 2 (listener-threads > 16 segfault) and
+    Figure 7(a)/(b) (history_size = 0 crash, ThreadLimit = 100000
+    abort) are all of this shape.
+    """
+
+    rule_name = "extreme-value"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, BasicTypeConstraint) and isinstance(
+            constraint.type, ct.IntType
+        )
+
+    def generate(self, constraint, template):
+        param = constraint.param
+        return [
+            self._make(
+                constraint,
+                f"implausibly large value for {param}",
+                (param, "100000"),
+            ),
+            self._make(
+                constraint,
+                f"zero value for {param}",
+                (param, "0"),
+            ),
+        ]
+
+
+class SemanticTypeViolationPlugin(GeneratorPlugin):
+    rule_name = "semantic-type"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, SemanticTypeConstraint)
+
+    def generate(self, constraint, template):
+        param = constraint.param
+        semantic = constraint.semantic
+        out = []
+        if semantic is SemanticType.FILE:
+            out.append(
+                self._make(
+                    constraint,
+                    f"directory path where {param} expects a file",
+                    (param, "/data/injected_dir"),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"nonexistent path for file parameter {param}",
+                    (param, "/no/such/file"),
+                )
+            )
+        elif semantic in (SemanticType.DIRECTORY, SemanticType.PATH):
+            out.append(
+                self._make(
+                    constraint,
+                    f"file path where {param} expects a directory",
+                    (param, "/data/injected_file"),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"nonexistent path for {param}",
+                    (param, "/no/such/dir"),
+                )
+            )
+        elif semantic is SemanticType.PORT:
+            out.append(
+                self._make(
+                    constraint,
+                    f"already-occupied port for {param}",
+                    (param, "3130"),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"out-of-range port number for {param}",
+                    (param, "70000"),
+                )
+            )
+        elif semantic is SemanticType.IP_ADDRESS:
+            out.append(
+                self._make(
+                    constraint,
+                    f"malformed IP address for {param}",
+                    (param, "999.1.2.3"),
+                )
+            )
+        elif semantic is SemanticType.HOSTNAME:
+            out.append(
+                self._make(
+                    constraint,
+                    f"unresolvable hostname for {param}",
+                    (param, "no-such-host.invalid"),
+                )
+            )
+        elif semantic is SemanticType.USER:
+            out.append(
+                self._make(
+                    constraint,
+                    f"nonexistent user for {param}",
+                    (param, "no_such_user_xyz"),
+                )
+            )
+        elif semantic is SemanticType.GROUP:
+            out.append(
+                self._make(
+                    constraint,
+                    f"nonexistent group for {param}",
+                    (param, "no_such_group_xyz"),
+                )
+            )
+        elif semantic is SemanticType.TIME:
+            out.extend(self._time_confusions(constraint, template))
+        elif semantic is SemanticType.SIZE:
+            out.extend(self._size_confusions(constraint, template))
+        return out
+
+    def _time_confusions(self, constraint, template):
+        """Values plausible in a *different* time unit: a '60s' intent
+        written where the parameter means minutes/ms produces hangs or
+        near-zero timeouts."""
+        unit = constraint.unit or Unit.SECONDS
+        param = constraint.param
+        out = []
+        if unit in (Unit.SECONDS, Unit.MINUTES, Unit.HOURS):
+            out.append(
+                self._make(
+                    constraint,
+                    f"millisecond-scale value for {param} (unit is {unit})",
+                    (param, "90000"),
+                )
+            )
+        else:
+            out.append(
+                self._make(
+                    constraint,
+                    f"second-scale value for {param} (unit is {unit})",
+                    (param, "30"),
+                )
+            )
+        return out
+
+    def _size_confusions(self, constraint, template):
+        unit = constraint.unit or Unit.BYTES
+        param = constraint.param
+        return [
+            self._make(
+                constraint,
+                f"unit-suffixed size for {param} (unit is {unit})",
+                (param, "512MB"),
+            ),
+            self._make(
+                constraint,
+                f"negative size for {param}",
+                (param, "-1"),
+            ),
+        ]
+
+
+class RangeViolationPlugin(GeneratorPlugin):
+    rule_name = "data-range"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, (NumericRangeConstraint, EnumRangeConstraint))
+
+    def generate(self, constraint, template):
+        if isinstance(constraint, NumericRangeConstraint):
+            return self._numeric(constraint)
+        return self._enum(constraint)
+
+    def _numeric(self, constraint):
+        param = constraint.param
+        out = []
+        if constraint.valid_lo is not None:
+            out.append(
+                self._make(
+                    constraint,
+                    f"just below the valid range of {param}",
+                    (param, str(int(constraint.valid_lo) - 1)),
+                )
+            )
+        if constraint.valid_hi is not None:
+            out.append(
+                self._make(
+                    constraint,
+                    f"just above the valid range of {param}",
+                    (param, str(int(constraint.valid_hi) + 1)),
+                )
+            )
+            out.append(
+                self._make(
+                    constraint,
+                    f"far above the valid range of {param}",
+                    (param, str(int(constraint.valid_hi) * 40 + 1000)),
+                )
+            )
+        return out
+
+    def _enum(self, constraint):
+        param = constraint.param
+        out = [
+            self._make(
+                constraint,
+                f"value outside the accepted set of {param}",
+                (param, "unsupported_choice"),
+            )
+        ]
+        # Case alternation of a valid value probes case-sensitivity
+        # vulnerabilities (the Figure 1 InitiatorName problem).
+        for value in constraint.values:
+            text = str(value)
+            if isinstance(value, str) and text.lower() != text.upper():
+                out.append(
+                    self._make(
+                        constraint,
+                        f"case-altered valid value for {param}",
+                        (param, text.upper() if text != text.upper() else text.lower()),
+                    )
+                )
+                break
+        return out
+
+
+class ControlDepViolationPlugin(GeneratorPlugin):
+    rule_name = "control-dependency"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, ControlDepConstraint)
+
+    def generate(self, constraint, template):
+        # Generate (P ⋄ V) ∧ Q: disable P (violate the dependency
+        # condition) while explicitly configuring Q.
+        p_value = self._violating_value(
+            constraint.op, constraint.value, template.get(constraint.dep_param)
+        )
+        if p_value is None:
+            return []
+        q_value = self._non_default(constraint.param, template)
+        # Q first: the vulnerability is attributed to the ignored
+        # parameter, not the gate.
+        return [
+            self._make(
+                constraint,
+                f"{constraint.param} set while {constraint.dep_param} "
+                f"{_negate_str(constraint.op)} {constraint.value}",
+                (constraint.param, q_value),
+                (constraint.dep_param, p_value),
+            )
+        ]
+
+    # Boolean config words grouped by family: the violating value must
+    # use the spelling the system actually parses.
+    _FALSE_OF = {"on": "off", "yes": "NO", "true": "false", "1": "0"}
+    _TRUE_OF = {"off": "on", "no": "YES", "false": "true", "0": "1"}
+
+    def _violating_value(self, op: str, value, current: str | None) -> str | None:
+        """A P-value that makes `P op value` FALSE, spelled the way the
+        template spells booleans."""
+        if not isinstance(value, (int, float)):
+            return None
+        current_low = (current or "").strip().lower()
+        if op == "!=" and value == 0:
+            # Need P false/zero.
+            if current_low in self._FALSE_OF:
+                return self._FALSE_OF[current_low]
+            if current_low in self._TRUE_OF:
+                return current  # already a false word
+            return "0"
+        if op == "==" and value == 0:
+            # Need P non-zero.
+            if current_low in self._TRUE_OF:
+                return self._TRUE_OF[current_low]
+            if current_low in self._FALSE_OF:
+                return current
+            return "1"
+        if op == "!=":
+            return str(value)
+        if op == "==":
+            return str(int(value) + 1)
+        if op == ">":
+            return str(int(value))
+        if op == ">=":
+            return str(int(value) - 1)
+        if op == "<":
+            return str(int(value))
+        if op == "<=":
+            return str(int(value) + 1)
+        return None
+
+    def _non_default(self, param: str, template: ConfigAR) -> str:
+        current = template.get(param)
+        if current is None:
+            return "7"
+        lowered = current.strip().lower()
+        flips = {
+            "yes": "NO", "no": "YES", "on": "off", "off": "on",
+            "true": "false", "false": "true",
+        }
+        if lowered in flips:
+            return flips[lowered]
+        try:
+            return str(int(current) + 3)
+        except ValueError:
+            return current + "_altered" if current else "enabled"
+
+
+class ValueRelViolationPlugin(GeneratorPlugin):
+    rule_name = "value-relationship"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, ValueRelConstraint)
+
+    def generate(self, constraint, template):
+        p, op, q = constraint.param, constraint.op, constraint.other_param
+        base = self._base_value(q, template)
+        if op in ("<", "<="):
+            p_value, q_value = base + 15, base
+        elif op in (">", ">="):
+            p_value, q_value = base, base + 15
+        else:
+            return []
+        return [
+            self._make(
+                constraint,
+                f"violates {p} {op} {q}",
+                (p, str(p_value)),
+                (q, str(q_value)),
+            )
+        ]
+
+    def _base_value(self, param: str, template: ConfigAR) -> int:
+        current = template.get(param)
+        if current is not None:
+            try:
+                return int(current)
+            except ValueError:
+                pass
+        return 10
+
+
+@dataclass
+class GeneratorRegistry:
+    """The plug-in set; extensible per system (custom data types)."""
+
+    plugins: list[GeneratorPlugin] = field(default_factory=list)
+
+    def add(self, plugin: GeneratorPlugin) -> None:
+        self.plugins.append(plugin)
+
+    def generate(
+        self, constraints, template: ConfigAR
+    ) -> list[Misconfiguration]:
+        out: list[Misconfiguration] = []
+        seen: set[tuple] = set()
+        for constraint in constraints:
+            for plugin in self.plugins:
+                if not plugin.applies_to(constraint):
+                    continue
+                for misconf in plugin.generate(constraint, template):
+                    key = (misconf.settings, misconf.rule)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(misconf)
+        return out
+
+
+def default_generators() -> GeneratorRegistry:
+    registry = GeneratorRegistry()
+    registry.add(BasicTypeViolationPlugin())
+    registry.add(ExtremeValuePlugin())
+    registry.add(SemanticTypeViolationPlugin())
+    registry.add(RangeViolationPlugin())
+    registry.add(ControlDepViolationPlugin())
+    registry.add(ValueRelViolationPlugin())
+    return registry
+
+
+def generate_misconfigurations(constraints, template: ConfigAR):
+    """Convenience: run the default plug-ins over a constraint set."""
+    return default_generators().generate(constraints, template)
+
+
+def _negate_str(op: str) -> str:
+    return {"!=": "==", "==": "!=", "<": ">=", ">": "<=", "<=": ">", ">=": "<"}[op]

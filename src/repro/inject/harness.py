@@ -1,0 +1,271 @@
+"""The injection test harness (§3.1 "Testing and Analysis").
+
+For each generated configuration file (containing one
+misconfiguration), launch the target system; if it starts, apply the
+functional tests one by one; record all logs; classify the reaction
+per Table 3.  A reaction is acceptable only if the system *pinpoints*
+the injected parameter by name, value, or config-file line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.core.constraints import ControlDepConstraint
+from repro.inject.generators import Misconfiguration
+from repro.inject.reactions import Reaction, ReactionCategory
+from repro.runtime.interpreter import InterpreterOptions
+from repro.runtime.process import ProcessResult, ProcessStatus, run_program
+
+if TYPE_CHECKING:  # avoid the inject <-> systems import cycle
+    from repro.systems.base import SubjectSystem
+
+
+@dataclass
+class InjectionVerdict:
+    """Outcome of testing one misconfiguration."""
+
+    misconfiguration: Misconfiguration
+    reaction: Reaction
+    startup_result: ProcessResult | None = None
+    tests_run: int = 0
+    log_excerpt: str = ""
+
+    @property
+    def is_vulnerability(self) -> bool:
+        return self.reaction.is_vulnerability
+
+
+@dataclass
+class InjectionHarness:
+    system: "SubjectSystem"
+    options: InterpreterOptions = field(
+        default_factory=lambda: InterpreterOptions(
+            max_steps=400_000, max_virtual_seconds=120.0
+        )
+    )
+    stop_at_first_failure: bool = True
+    sort_shortest_first: bool = True
+
+    # -- low-level runs ------------------------------------------------------
+
+    def launch(
+        self, config_text: str, requests: list[str] | None = None
+    ) -> ProcessResult:
+        os_model = self.system.make_os()
+        self.system.install_config(os_model, config_text)
+        if requests:
+            os_model.queue_requests(requests)
+        return run_program(
+            self.system.program(),
+            os_model,
+            argv=[self.system.name, self.system.config_path],
+            options=self.options,
+        )
+
+    def baseline_ok(self) -> bool:
+        """The unmodified template must start and pass all tests."""
+        result = self.launch(self.system.default_config)
+        if not result.exited_ok:
+            return False
+        for test in self.system.tests:
+            run = self.launch(self.system.default_config, test.requests)
+            if not run.exited_ok or not test.oracle(run.responses):
+                return False
+        return True
+
+    # -- one misconfiguration ------------------------------------------------
+
+    def test_misconfiguration(self, misconf: Misconfiguration) -> InjectionVerdict:
+        ar = self.system.template_ar().clone()
+        for name, value in misconf.settings:
+            ar.set(name, value)
+        config_text = ar.serialize()
+
+        startup = self.launch(config_text)
+        pinpointed = self._pinpointed(startup, misconf, ar)
+
+        if startup.status in (ProcessStatus.CRASHED, ProcessStatus.HUNG):
+            detail = startup.fault_reason or startup.status.value
+            return InjectionVerdict(
+                misconf,
+                Reaction(
+                    ReactionCategory.CRASH_HANG,
+                    detail=detail,
+                    pinpointed=pinpointed,
+                    fault_signal=startup.fault_signal,
+                ),
+                startup,
+                log_excerpt=startup.log_text(),
+            )
+        if startup.exit_code != 0:
+            category = (
+                ReactionCategory.GOOD if pinpointed else ReactionCategory.EARLY_TERMINATION
+            )
+            return InjectionVerdict(
+                misconf,
+                Reaction(
+                    category,
+                    detail=f"exit code {startup.exit_code}",
+                    pinpointed=pinpointed,
+                ),
+                startup,
+                log_excerpt=startup.log_text(),
+            )
+
+        # Started cleanly: drive the functional suite.
+        tests = list(self.system.tests)
+        if self.sort_shortest_first:
+            tests.sort(key=lambda t: t.duration)
+        tests_run = 0
+        for test in tests:
+            tests_run += 1
+            run = self.launch(config_text, test.requests)
+            run_pinpointed = pinpointed or self._pinpointed(run, misconf, ar)
+            if run.status in (ProcessStatus.CRASHED, ProcessStatus.HUNG):
+                return InjectionVerdict(
+                    misconf,
+                    Reaction(
+                        ReactionCategory.CRASH_HANG,
+                        detail=run.fault_reason or run.status.value,
+                        pinpointed=run_pinpointed,
+                        failed_test=test.name,
+                        fault_signal=run.fault_signal,
+                    ),
+                    startup,
+                    tests_run,
+                    run.log_text(),
+                )
+            if run.exit_code != 0 or not test.oracle(run.responses):
+                category = (
+                    ReactionCategory.GOOD
+                    if run_pinpointed
+                    else ReactionCategory.FUNCTIONAL_FAILURE
+                )
+                verdict = InjectionVerdict(
+                    misconf,
+                    Reaction(
+                        category,
+                        detail=f"functional test {test.name!r} failed",
+                        pinpointed=run_pinpointed,
+                        failed_test=test.name,
+                    ),
+                    startup,
+                    tests_run,
+                    run.log_text(),
+                )
+                if self.stop_at_first_failure:
+                    return verdict
+                return verdict
+
+        # All tests pass: silent violation / ignorance / good.
+        return self._classify_silent(misconf, startup, pinpointed, tests_run)
+
+    # -- silent misbehaviour ---------------------------------------------------
+
+    def _classify_silent(
+        self,
+        misconf: Misconfiguration,
+        startup: ProcessResult,
+        pinpointed: bool,
+        tests_run: int,
+    ) -> InjectionVerdict:
+        if pinpointed:
+            return InjectionVerdict(
+                misconf,
+                Reaction(ReactionCategory.GOOD, detail="pinpointed", pinpointed=True),
+                startup,
+                tests_run,
+            )
+        if isinstance(misconf.constraint, ControlDepConstraint):
+            return InjectionVerdict(
+                misconf,
+                Reaction(
+                    ReactionCategory.SILENT_IGNORANCE,
+                    detail=(
+                        f"{misconf.constraint.param} has no effect while "
+                        f"{misconf.constraint.dep_param} disables it; no notice given"
+                    ),
+                ),
+                startup,
+                tests_run,
+            )
+        changed = self._silently_changed(misconf, startup)
+        if changed is not None:
+            param, injected, effective = changed
+            return InjectionVerdict(
+                misconf,
+                Reaction(
+                    ReactionCategory.SILENT_VIOLATION,
+                    detail=(
+                        f"{param}: injected {injected!r} but effective value is "
+                        f"{effective!r}, with no notification"
+                    ),
+                ),
+                startup,
+                tests_run,
+            )
+        return InjectionVerdict(
+            misconf,
+            Reaction(ReactionCategory.GOOD, detail="setting accepted"),
+            startup,
+            tests_run,
+        )
+
+    def _silently_changed(self, misconf, startup: ProcessResult):
+        interp = startup.interpreter
+        if interp is None:
+            return None
+        for param, injected in misconf.settings:
+            location = self.system.effective_locations.get(param)
+            if location is None:
+                continue
+            var, path = location
+            value = interp.globals.get(var)
+            for fld in path:
+                if value is None:
+                    break
+                value = value.fields.get(fld) if hasattr(value, "fields") else None
+            intended = self.system.decoder_for(param)(injected)
+            if value is None and intended is None:
+                continue
+            if not _values_match(intended, value):
+                return (param, injected, value)
+        return None
+
+    # -- pinpointing -----------------------------------------------------------
+
+    def _pinpointed(self, result: ProcessResult, misconf, ar) -> bool:
+        """Did any log message name the parameter, its value, or its
+        config-file line?"""
+        for param, value in misconf.settings:
+            if result.logs_mention(param):
+                return True
+            if len(value) >= 2 and result.logs_mention(value):
+                return True
+            line = ar.line_of(param)
+            if line is not None and (
+                result.logs_mention(f"line {line}")
+                or result.logs_mention(f"line {line}:")
+            ):
+                return True
+        return False
+
+
+def _values_match(intended: object, effective: object) -> bool:
+    if isinstance(intended, int) and isinstance(effective, int):
+        return intended == effective
+    if isinstance(intended, str) and isinstance(effective, str):
+        return intended == effective
+    if isinstance(intended, int) and isinstance(effective, float):
+        return float(intended) == effective
+    if isinstance(intended, str) and isinstance(effective, int):
+        # The system decoded a string we considered opaque; treat a
+        # plain integer string as matching its parse.
+        try:
+            return int(intended) == effective
+        except ValueError:
+            return False
+    return intended == effective

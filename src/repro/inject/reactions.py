@@ -1,0 +1,69 @@
+"""Reaction taxonomy (Table 3).
+
+"When a misconfiguration occurs, the system should pinpoint either the
+misconfigured parameter's name/value or its location information.
+Otherwise, SPEX-INJ considers the system reaction as a
+misconfiguration vulnerability."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ReactionCategory(enum.Enum):
+    CRASH_HANG = "crash/hang"
+    EARLY_TERMINATION = "early termination"
+    FUNCTIONAL_FAILURE = "functional failure"
+    SILENT_VIOLATION = "silent violation"
+    SILENT_IGNORANCE = "silent ignorance"
+    GOOD = "good reaction"
+
+    @property
+    def is_vulnerability(self) -> bool:
+        return self is not ReactionCategory.GOOD
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_DESCRIPTIONS = {
+    ReactionCategory.CRASH_HANG: "The system crashes or hangs.",
+    ReactionCategory.EARLY_TERMINATION: (
+        "The system exits without pinpointing the injected configuration error."
+    ),
+    ReactionCategory.FUNCTIONAL_FAILURE: (
+        "The system fails functional testing without pinpointing the injected error."
+    ),
+    ReactionCategory.SILENT_VIOLATION: (
+        "The system changes input configurations to different values "
+        "without notifying users."
+    ),
+    ReactionCategory.SILENT_IGNORANCE: (
+        "The system ignores input configurations "
+        "(mainly for control-dependency violation)."
+    ),
+    ReactionCategory.GOOD: (
+        "The system pinpoints the misconfigured parameter or handles it correctly."
+    ),
+}
+
+
+def describe(category: ReactionCategory) -> str:
+    return _DESCRIPTIONS[category]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One observed reaction with its supporting evidence."""
+
+    category: ReactionCategory
+    detail: str = ""
+    pinpointed: bool = False
+    failed_test: str | None = None
+    fault_signal: str | None = None
+
+    @property
+    def is_vulnerability(self) -> bool:
+        return self.category.is_vulnerability

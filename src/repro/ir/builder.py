@@ -1,0 +1,615 @@
+"""AST -> IR lowering.
+
+Lowering choices that matter to the analyses:
+
+* Conditions of ``if``/``while``/``for``/ternary are lowered with
+  branch-style short-circuiting so every source comparison survives as
+  a `Branch` with `CompareInfo` (range and control-dep inference read
+  these, like SPEX reads LLVM ``icmp``+``br`` pairs).
+* Named-variable loads/stores are explicit instructions, giving the
+  taint engine a def-use event per access.
+* Field accesses keep *paths* rooted at named variables when possible
+  (field sensitivity); pointer-mediated stores stay opaque - SPEX has
+  no alias analysis (§4.3) and neither do we, by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import types as ct
+from repro.lang.ast_nodes import (
+    Assign as AstAssign,
+    Binary,
+    Block,
+    BoolLiteral,
+    Break,
+    Call as AstCall,
+    CallIndirect as AstCallIndirect,
+    Cast as AstCast,
+    CharLiteral,
+    Conditional,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    IncDec,
+    Index,
+    InitList,
+    IntLiteral,
+    Member,
+    NullLiteral,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLiteral,
+    Switch,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.lang.program import Program
+from repro.lang.source import UNKNOWN_LOCATION, Location
+from repro.ir.function import BasicBlock, IRFunction, IRModule
+from repro.ir.instructions import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Cast,
+    CompareInfo,
+    Jump,
+    LoadDeref,
+    LoadField,
+    LoadIndex,
+    Ret,
+    StoreDeref,
+    StoreField,
+    StoreIndex,
+    SwitchInst,
+    UnOp,
+)
+from repro.ir.values import Const, FuncRef, Operand, Temp, Variable
+
+
+@dataclass
+class _VarPlace:
+    var: Variable
+
+
+@dataclass
+class _FieldPlace:
+    base: Operand  # Variable (named root) or Temp (computed pointer)
+    path: tuple[str, ...]
+
+
+@dataclass
+class _IndexPlace:
+    base: Operand
+    index: Operand
+
+
+@dataclass
+class _DerefPlace:
+    ptr: Operand
+
+
+class FunctionBuilder:
+    """Lowers one FunctionDef into an IRFunction."""
+
+    def __init__(self, program: Program, module: IRModule, fn: FunctionDef):
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.ir = IRFunction(
+            name=fn.name,
+            return_type=fn.return_type,
+            params=[],
+            location=fn.location,
+        )
+        self.temp_counter = 0
+        self.block_counter = 0
+        self.synth_counter = 0
+        self.scopes: list[dict[str, Variable]] = [{}]
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.current: BasicBlock = self._new_block("entry")
+
+        for i, param in enumerate(fn.params):
+            var = Variable(param.name, fn.name, "param", param.type, i)
+            self.ir.params.append(var)
+            self.scopes[0][param.name] = var
+            self.ir.locals[param.name] = var
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _new_block(self, hint: str) -> BasicBlock:
+        label = hint if hint == "entry" else f"{hint}.{self.block_counter}"
+        self.block_counter += 1
+        block = BasicBlock(label)
+        self.ir.blocks[label] = block
+        return block
+
+    def _switch_to(self, block: BasicBlock) -> None:
+        self.current = block
+
+    def _emit(self, inst) -> None:
+        if not self.current.terminated:
+            self.current.append(inst)
+
+    def _temp(self) -> Temp:
+        self.temp_counter += 1
+        return Temp(self.temp_counter, self.fn.name)
+
+    def _declare_local(self, name: str, typ: ct.CType, kind: str = "local") -> Variable:
+        unique = name
+        n = 1
+        while unique in self.ir.locals:
+            unique = f"{name}.{n}"
+            n += 1
+        var = Variable(unique, self.fn.name, kind, typ)
+        self.scopes[-1][name] = var
+        self.ir.locals[unique] = var
+        return var
+
+    def _synthetic(self, hint: str, typ: ct.CType | None = None) -> Variable:
+        self.synth_counter += 1
+        name = f".{hint}{self.synth_counter}"
+        var = Variable(name, self.fn.name, "local", typ)
+        self.ir.locals[name] = var
+        return var
+
+    def _lookup(self, name: str) -> Variable | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return self.module.globals.get(name)
+
+    # -- entry ----------------------------------------------------------------
+
+    def build(self) -> IRFunction:
+        from repro.ir.instructions import Unreachable
+
+        assert self.fn.body is not None
+        self._lower_block(self.fn.body)
+        # Fallthrough off the end of the body returns void; blocks named
+        # dead.* only exist to absorb code after return/break/continue.
+        if not self.current.terminated and not self.current.label.startswith("dead"):
+            self._emit(Ret(None, self.fn.location))
+        # Terminate any leftover dead blocks so CFG algorithms see a
+        # well-formed graph.
+        for block in self.ir.blocks.values():
+            if not block.terminated:
+                block.append(Unreachable(self.fn.location))
+        return self.ir
+
+    # -- statements -------------------------------------------------------------
+
+    def _lower_block(self, block: Block) -> None:
+        self.scopes.append({})
+        for stmt in block.statements:
+            self._lower_stmt(stmt)
+        self.scopes.pop()
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, VarDecl):
+            kind = "static" if stmt.is_static else "local"
+            var = self._declare_local(stmt.name, stmt.type, kind)
+            if stmt.init is not None and not isinstance(stmt.init, InitList):
+                value = self._lower_expr(stmt.init)
+                self._emit(Assign(var, value, stmt.location))
+            elif isinstance(stmt.init, InitList):
+                for i, item in enumerate(stmt.init.items):
+                    value = self._lower_expr(item)
+                    self._emit(
+                        StoreIndex(var, Const(i), value, stmt.location)
+                    )
+        elif isinstance(stmt, Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, Switch):
+            self._lower_switch(stmt)
+        elif isinstance(stmt, Break):
+            if self.loop_stack:
+                self._emit(Jump(self.loop_stack[-1][1], stmt.location))
+            self._switch_to(self._new_block("dead"))
+        elif isinstance(stmt, Continue):
+            if self.loop_stack:
+                self._emit(Jump(self.loop_stack[-1][0], stmt.location))
+            self._switch_to(self._new_block("dead"))
+        elif isinstance(stmt, Return):
+            value = self._lower_expr(stmt.value) if stmt.value is not None else None
+            self._emit(Ret(value, stmt.location))
+            self._switch_to(self._new_block("dead"))
+        else:
+            raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_if(self, stmt: If) -> None:
+        then_bb = self._new_block("if.then")
+        merge_bb = self._new_block("if.end")
+        else_bb = self._new_block("if.else") if stmt.other is not None else merge_bb
+        self._lower_cond(stmt.cond, then_bb.label, else_bb.label)
+        self._switch_to(then_bb)
+        self._lower_stmt(stmt.then)
+        self._emit(Jump(merge_bb.label, stmt.location))
+        if stmt.other is not None:
+            self._switch_to(else_bb)
+            self._lower_stmt(stmt.other)
+            self._emit(Jump(merge_bb.label, stmt.location))
+        self._switch_to(merge_bb)
+
+    def _lower_while(self, stmt: While) -> None:
+        header = self._new_block("while.cond")
+        body = self._new_block("while.body")
+        exit_bb = self._new_block("while.end")
+        self._emit(Jump(header.label, stmt.location))
+        self._switch_to(header)
+        self._lower_cond(stmt.cond, body.label, exit_bb.label)
+        self.loop_stack.append((header.label, exit_bb.label))
+        self._switch_to(body)
+        self._lower_stmt(stmt.body)
+        self._emit(Jump(header.label, stmt.location))
+        self.loop_stack.pop()
+        self._switch_to(exit_bb)
+
+    def _lower_do_while(self, stmt: DoWhile) -> None:
+        body = self._new_block("do.body")
+        header = self._new_block("do.cond")
+        exit_bb = self._new_block("do.end")
+        self._emit(Jump(body.label, stmt.location))
+        self.loop_stack.append((header.label, exit_bb.label))
+        self._switch_to(body)
+        self._lower_stmt(stmt.body)
+        self._emit(Jump(header.label, stmt.location))
+        self.loop_stack.pop()
+        self._switch_to(header)
+        self._lower_cond(stmt.cond, body.label, exit_bb.label)
+        self._switch_to(exit_bb)
+
+    def _lower_for(self, stmt: For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        header = self._new_block("for.cond")
+        body = self._new_block("for.body")
+        step = self._new_block("for.step")
+        exit_bb = self._new_block("for.end")
+        self._emit(Jump(header.label, stmt.location))
+        self._switch_to(header)
+        if stmt.cond is not None:
+            self._lower_cond(stmt.cond, body.label, exit_bb.label)
+        else:
+            self._emit(Jump(body.label, stmt.location))
+        self.loop_stack.append((step.label, exit_bb.label))
+        self._switch_to(body)
+        self._lower_stmt(stmt.body)
+        self._emit(Jump(step.label, stmt.location))
+        self.loop_stack.pop()
+        self._switch_to(step)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        self._emit(Jump(header.label, stmt.location))
+        self._switch_to(exit_bb)
+        self.scopes.pop()
+
+    def _lower_switch(self, stmt: Switch) -> None:
+        subject = self._lower_expr(stmt.subject)
+        exit_bb = self._new_block("switch.end")
+        case_blocks: list[BasicBlock] = []
+        for i, _case in enumerate(stmt.cases):
+            case_blocks.append(self._new_block(f"case{i}"))
+        cases: list[tuple[Const, str]] = []
+        default_label: str | None = None
+        for case, block in zip(stmt.cases, case_blocks):
+            if case.value is None:
+                default_label = block.label
+            else:
+                value = case.value
+                const = (
+                    Const(value.value)
+                    if isinstance(value, (IntLiteral, StringLiteral))
+                    else Const(0)
+                )
+                cases.append((const, block.label))
+        self._emit(
+            SwitchInst(
+                subject,
+                cases,
+                default_label if default_label is not None else exit_bb.label,
+                stmt.location,
+            )
+        )
+        self.loop_stack.append((exit_bb.label, exit_bb.label))
+        for i, (case, block) in enumerate(zip(stmt.cases, case_blocks)):
+            self._switch_to(block)
+            for inner in case.body:
+                self._lower_stmt(inner)
+            # Fallthrough into the next case body, or the exit.
+            next_label = (
+                case_blocks[i + 1].label if i + 1 < len(case_blocks) else exit_bb.label
+            )
+            self._emit(Jump(next_label, case.location))
+        self.loop_stack.pop()
+        self._switch_to(exit_bb)
+
+    # -- conditions --------------------------------------------------------
+
+    def _lower_cond(self, expr: Expr, true_label: str, false_label: str) -> None:
+        if isinstance(expr, Binary) and expr.op == "&&":
+            mid = self._new_block("land")
+            self._lower_cond(expr.left, mid.label, false_label)
+            self._switch_to(mid)
+            self._lower_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            mid = self._new_block("lor")
+            self._lower_cond(expr.left, true_label, mid.label)
+            self._switch_to(mid)
+            self._lower_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Unary) and expr.op == "!":
+            self._lower_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, Binary) and expr.op in ("<", ">", "<=", ">=", "==", "!="):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            temp = self._temp()
+            self._emit(BinOp(temp, expr.op, left, right, expr.location))
+            self._emit(
+                Branch(
+                    temp,
+                    true_label,
+                    false_label,
+                    expr.location,
+                    cond_info=CompareInfo(expr.op, left, right),
+                )
+            )
+            return
+        operand = self._lower_expr(expr)
+        self._emit(
+            Branch(
+                operand,
+                true_label,
+                false_label,
+                expr.location,
+                cond_info=CompareInfo("!=", operand, Const(0)),
+            )
+        )
+
+    # -- expressions --------------------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> Operand:
+        if isinstance(expr, IntLiteral):
+            return Const(expr.value)
+        if isinstance(expr, FloatLiteral):
+            return Const(expr.value)
+        if isinstance(expr, StringLiteral):
+            return Const(expr.value)
+        if isinstance(expr, CharLiteral):
+            return Const(expr.value)
+        if isinstance(expr, BoolLiteral):
+            return Const(1 if expr.value else 0)
+        if isinstance(expr, NullLiteral):
+            return Const(None)
+        if isinstance(expr, SizeOf):
+            return Const(8)
+        if isinstance(expr, Identifier):
+            var = self._lookup(expr.name)
+            if var is not None:
+                temp = self._temp()
+                self._emit(Assign(temp, var, expr.location))
+                return temp
+            return FuncRef(expr.name)
+        if isinstance(expr, Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, IncDec):
+            return self._lower_incdec(expr)
+        if isinstance(expr, Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, Conditional):
+            return self._lower_ternary(expr)
+        if isinstance(expr, AstAssign):
+            return self._lower_assign(expr)
+        if isinstance(expr, AstCall):
+            args = [self._lower_expr(a) for a in expr.args]
+            dest = self._temp()
+            self._emit(Call(dest, expr.callee, args, expr.location))
+            return dest
+        if isinstance(expr, AstCallIndirect):
+            func = self._lower_expr(expr.func)
+            args = [self._lower_expr(a) for a in expr.args]
+            dest = self._temp()
+            self._emit(CallIndirect(dest, func, args, expr.location))
+            return dest
+        if isinstance(expr, AstCast):
+            src = self._lower_expr(expr.operand)
+            dest = self._temp()
+            self._emit(Cast(dest, expr.type, src, expr.location))
+            return dest
+        if isinstance(expr, Member):
+            return self._load_place(self._lower_place(expr), expr.location)
+        if isinstance(expr, Index):
+            return self._load_place(self._lower_place(expr), expr.location)
+        if isinstance(expr, InitList):
+            for item in expr.items:
+                self._lower_expr(item)
+            return Const(None)
+        raise TypeError(f"unhandled expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: Unary) -> Operand:
+        if expr.op == "&":
+            place = self._lower_place(expr.operand)
+            dest = self._temp()
+            if isinstance(place, _VarPlace):
+                self._emit(AddrOf(dest, place.var, (), expr.location))
+            elif isinstance(place, _FieldPlace) and isinstance(place.base, Variable):
+                self._emit(AddrOf(dest, place.base, place.path, expr.location))
+            else:
+                # Address of a computed place: opaque to analysis.
+                operand = self._load_place(place, expr.location)
+                self._emit(UnOp(dest, "&", operand, expr.location))
+            return dest
+        if expr.op == "*":
+            ptr = self._lower_expr(expr.operand)
+            dest = self._temp()
+            self._emit(LoadDeref(dest, ptr, expr.location))
+            return dest
+        operand = self._lower_expr(expr.operand)
+        dest = self._temp()
+        self._emit(UnOp(dest, expr.op, operand, expr.location))
+        return dest
+
+    def _lower_incdec(self, expr: IncDec) -> Operand:
+        place = self._lower_place(expr.operand)
+        old = self._load_place(place, expr.location)
+        new = self._temp()
+        op = "+" if expr.op == "++" else "-"
+        self._emit(BinOp(new, op, old, Const(1), expr.location))
+        self._store_place(place, new, expr.location)
+        return new if expr.prefix else old
+
+    def _lower_binary(self, expr: Binary) -> Operand:
+        # Value-context && / || lower through control flow so the
+        # comparisons stay visible as branches.
+        if expr.op in ("&&", "||"):
+            result = self._synthetic("bool", ct.INT)
+            true_bb = self._new_block("val.true")
+            false_bb = self._new_block("val.false")
+            merge = self._new_block("val.end")
+            self._lower_cond(expr, true_bb.label, false_bb.label)
+            self._switch_to(true_bb)
+            self._emit(Assign(result, Const(1), expr.location))
+            self._emit(Jump(merge.label, expr.location))
+            self._switch_to(false_bb)
+            self._emit(Assign(result, Const(0), expr.location))
+            self._emit(Jump(merge.label, expr.location))
+            self._switch_to(merge)
+            dest = self._temp()
+            self._emit(Assign(dest, result, expr.location))
+            return dest
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        dest = self._temp()
+        self._emit(BinOp(dest, expr.op, left, right, expr.location))
+        return dest
+
+    def _lower_ternary(self, expr: Conditional) -> Operand:
+        result = self._synthetic("sel")
+        then_bb = self._new_block("sel.then")
+        else_bb = self._new_block("sel.else")
+        merge = self._new_block("sel.end")
+        self._lower_cond(expr.cond, then_bb.label, else_bb.label)
+        self._switch_to(then_bb)
+        value = self._lower_expr(expr.then)
+        self._emit(Assign(result, value, expr.location))
+        self._emit(Jump(merge.label, expr.location))
+        self._switch_to(else_bb)
+        value = self._lower_expr(expr.other)
+        self._emit(Assign(result, value, expr.location))
+        self._emit(Jump(merge.label, expr.location))
+        self._switch_to(merge)
+        dest = self._temp()
+        self._emit(Assign(dest, result, expr.location))
+        return dest
+
+    def _lower_assign(self, expr: AstAssign) -> Operand:
+        place = self._lower_place(expr.target)
+        value = self._lower_expr(expr.value)
+        if expr.op != "=":
+            current = self._load_place(place, expr.location)
+            combined = self._temp()
+            self._emit(
+                BinOp(combined, expr.op[:-1], current, value, expr.location)
+            )
+            value = combined
+        self._store_place(place, value, expr.location)
+        return value
+
+    # -- places ------------------------------------------------------------
+
+    def _lower_place(self, expr: Expr):
+        if isinstance(expr, Identifier):
+            var = self._lookup(expr.name)
+            if var is None:
+                var = self._declare_local(expr.name, None)
+            return _VarPlace(var)
+        if isinstance(expr, Member):
+            base = expr.base
+            path = [expr.field_name]
+            while isinstance(base, Member):
+                path.append(base.field_name)
+                base = base.base
+            path.reverse()
+            if isinstance(base, Identifier):
+                var = self._lookup(base.name)
+                if var is not None:
+                    return _FieldPlace(var, tuple(path))
+            base_op = self._lower_expr(base)
+            return _FieldPlace(base_op, tuple(path))
+        if isinstance(expr, Index):
+            base_op = self._lower_expr(expr.base)
+            index_op = self._lower_expr(expr.index)
+            return _IndexPlace(base_op, index_op)
+        if isinstance(expr, Unary) and expr.op == "*":
+            ptr = self._lower_expr(expr.operand)
+            return _DerefPlace(ptr)
+        # Fallback: evaluate and treat as opaque deref target.
+        ptr = self._lower_expr(expr)
+        return _DerefPlace(ptr)
+
+    def _load_place(self, place, location: Location) -> Operand:
+        dest = self._temp()
+        if isinstance(place, _VarPlace):
+            self._emit(Assign(dest, place.var, location))
+        elif isinstance(place, _FieldPlace):
+            self._emit(LoadField(dest, place.base, place.path, location))
+        elif isinstance(place, _IndexPlace):
+            self._emit(LoadIndex(dest, place.base, place.index, location))
+        elif isinstance(place, _DerefPlace):
+            self._emit(LoadDeref(dest, place.ptr, location))
+        else:
+            raise TypeError(f"unhandled place {place!r}")
+        return dest
+
+    def _store_place(self, place, value: Operand, location: Location) -> None:
+        if isinstance(place, _VarPlace):
+            self._emit(Assign(place.var, value, location))
+        elif isinstance(place, _FieldPlace):
+            self._emit(StoreField(place.base, place.path, value, location))
+        elif isinstance(place, _IndexPlace):
+            self._emit(StoreIndex(place.base, place.index, value, location))
+        elif isinstance(place, _DerefPlace):
+            self._emit(StoreDeref(place.ptr, value, location))
+        else:
+            raise TypeError(f"unhandled place {place!r}")
+
+
+def build_ir(program: Program) -> IRModule:
+    """Lower a linked program into an IR module."""
+    module = IRModule(name=program.name)
+    module.structs = dict(program.structs)
+    for name, decl in program.globals.items():
+        module.globals[name] = Variable(name, "global", "global", decl.type)
+        if decl.init is not None:
+            module.global_inits[name] = decl.init
+    for name, fn in program.functions.items():
+        if fn.body is None:
+            continue
+        builder = FunctionBuilder(program, module, fn)
+        module.functions[name] = builder.build()
+    return module

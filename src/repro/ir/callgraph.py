@@ -1,0 +1,61 @@
+"""Direct-call graph over an IR module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import IRModule
+from repro.ir.instructions import Call
+from repro.lang.source import Location
+
+
+@dataclass(frozen=True)
+class CallSite:
+    caller: str
+    callee: str
+    block: str
+    location: Location
+
+
+@dataclass
+class CallGraph:
+    module: IRModule
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+    sites: list[CallSite] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, module: IRModule) -> "CallGraph":
+        graph = cls(module)
+        for fn in module.functions.values():
+            graph.callees.setdefault(fn.name, set())
+            for block in fn.blocks.values():
+                for inst in block.instructions:
+                    if isinstance(inst, Call):
+                        graph.callees[fn.name].add(inst.callee)
+                        graph.callers.setdefault(inst.callee, set()).add(fn.name)
+                        graph.sites.append(
+                            CallSite(fn.name, inst.callee, block.label, inst.location)
+                        )
+        return graph
+
+    def call_sites_of(self, callee: str) -> list[CallSite]:
+        return [s for s in self.sites if s.callee == callee]
+
+    def calls_from(self, caller: str) -> set[str]:
+        return self.callees.get(caller, set())
+
+    def is_reachable(self, src: str, dst: str, max_depth: int = 32) -> bool:
+        """Is `dst` transitively callable from `src`?"""
+        seen = set()
+        stack = [(src, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node == dst:
+                return True
+            if node in seen or depth >= max_depth:
+                continue
+            seen.add(node)
+            for nxt in self.callees.get(node, ()):
+                stack.append((nxt, depth + 1))
+        return False

@@ -1,0 +1,25 @@
+"""Textual IR rendering for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.function import IRFunction, IRModule
+
+
+def format_function(fn: IRFunction) -> str:
+    params = ", ".join(f"{p.type} %{p.name}" for p in fn.params)
+    lines = [f"define {fn.return_type} @{fn.name}({params}) {{"]
+    for block in fn.block_order():
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: IRModule) -> str:
+    parts = []
+    for name, var in module.globals.items():
+        parts.append(f"global {var.type} @{name}")
+    for fn in module.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts)

@@ -1,0 +1,27 @@
+"""API knowledge base: what SPEX knows about library calls.
+
+The paper: "SPEX supports standard library APIs and data types.  In
+addition, we also allow developers to import their own library APIs and
+data types by pointing to their header files" (§2.2.2).  Here the
+knowledge is a declarative table keyed by function name: per-argument
+semantic types, units, case-sensitivity of comparators, unsafe
+transformation flags and exit-like behaviour; subject systems may
+extend it with proprietary APIs (Storage-A does).
+"""
+
+from repro.knowledge.semantic import SemanticType, Unit
+from repro.knowledge.apis import (
+    ApiKnowledge,
+    ApiSpec,
+    ArgFact,
+    default_knowledge,
+)
+
+__all__ = [
+    "ApiKnowledge",
+    "ApiSpec",
+    "ArgFact",
+    "SemanticType",
+    "Unit",
+    "default_knowledge",
+]

@@ -1,0 +1,32 @@
+"""MiniC: the C-like subject language analysed by SPEX.
+
+The paper's SPEX works on LLVM IR compiled from C/C++ by Clang.  This
+package is the reproduction's front-end substitute: a small C dialect
+rich enough to express every configuration-handling idiom the paper
+analyses (struct mapping tables, ``strcasecmp`` dispatch chains, getter
+containers, ``strtol``/``atoi`` parsing, range checks, unit arithmetic).
+
+Public entry points:
+
+* :func:`parse_source` - parse one source string into an AST file.
+* :class:`Program` - a linked translation unit over several files.
+"""
+
+from repro.lang.errors import LexError, MiniCError, ParseError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_source
+from repro.lang.program import Program
+from repro.lang.source import Location, SourceFile
+
+__all__ = [
+    "LexError",
+    "Lexer",
+    "Location",
+    "MiniCError",
+    "ParseError",
+    "Parser",
+    "Program",
+    "SourceFile",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,29 @@
+"""Diagnostics for the MiniC toolchain."""
+
+from __future__ import annotations
+
+from repro.lang.source import Location
+
+
+class MiniCError(Exception):
+    """Base class for all MiniC front-end errors."""
+
+    def __init__(self, message: str, location: Location | None = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(MiniCError):
+    """Raised on malformed tokens (bad escapes, stray characters...)."""
+
+
+class ParseError(MiniCError):
+    """Raised on syntax errors."""
+
+
+class SemanticError(MiniCError):
+    """Raised on name/type errors caught while lowering or linking."""

@@ -1,0 +1,151 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.source import Location
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers.
+    IDENT = "ident"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    CHAR_LIT = "char"
+    STRING_LIT = "string"
+
+    # Keywords.
+    KW_VOID = "void"
+    KW_BOOL = "bool"
+    KW_CHAR = "char_kw"
+    KW_SHORT = "short"
+    KW_INT = "int_kw"
+    KW_LONG = "long"
+    KW_FLOAT = "float_kw"
+    KW_DOUBLE = "double"
+    KW_UNSIGNED = "unsigned"
+    KW_SIGNED = "signed"
+    KW_STRUCT = "struct"
+    KW_ENUM = "enum"
+    KW_CONST = "const"
+    KW_STATIC = "static"
+    KW_EXTERN = "extern"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_SWITCH = "switch"
+    KW_CASE = "case"
+    KW_DEFAULT = "default"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_RETURN = "return"
+    KW_SIZEOF = "sizeof"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_NULL = "null"
+    KW_TYPEDEF = "typedef"
+
+    # Punctuation / operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    ARROW = "->"
+    ELLIPSIS = "..."
+    QUESTION = "?"
+    COLON = ":"
+
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AMP_ASSIGN = "&="
+    PIPE_ASSIGN = "|="
+    CARET_ASSIGN = "^="
+    SHL_ASSIGN = "<<="
+    SHR_ASSIGN = ">>="
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    AND_AND = "&&"
+    OR_OR = "||"
+    NOT = "!"
+
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    SHL = "<<"
+    SHR = ">>"
+
+    EOF = "eof"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "void": TokenKind.KW_VOID,
+    "bool": TokenKind.KW_BOOL,
+    "char": TokenKind.KW_CHAR,
+    "short": TokenKind.KW_SHORT,
+    "int": TokenKind.KW_INT,
+    "long": TokenKind.KW_LONG,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_DOUBLE,
+    "unsigned": TokenKind.KW_UNSIGNED,
+    "signed": TokenKind.KW_SIGNED,
+    "struct": TokenKind.KW_STRUCT,
+    "enum": TokenKind.KW_ENUM,
+    "const": TokenKind.KW_CONST,
+    "static": TokenKind.KW_STATIC,
+    "extern": TokenKind.KW_EXTERN,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "for": TokenKind.KW_FOR,
+    "switch": TokenKind.KW_SWITCH,
+    "case": TokenKind.KW_CASE,
+    "default": TokenKind.KW_DEFAULT,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "return": TokenKind.KW_RETURN,
+    "sizeof": TokenKind.KW_SIZEOF,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "NULL": TokenKind.KW_NULL,
+    "typedef": TokenKind.KW_TYPEDEF,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: Location
+    value: object = None  # Decoded literal value where applicable.
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.location}"

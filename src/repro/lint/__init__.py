@@ -1,0 +1,14 @@
+"""Error-prone configuration design detection (§3.2).
+
+Five detectors over SPEX's inferred constraints:
+
+* case-sensitivity inconsistency (Table 6, Figure 6a)
+* unit-granularity inconsistency (Table 7, Figure 6b)
+* silent overruling (Table 8, Figure 6c)
+* unsafe transformation APIs (Table 8, Figure 6d)
+* undocumented constraints (Table 8, right columns)
+"""
+
+from repro.lint.engine import DesignLintReport, lint_system
+
+__all__ = ["DesignLintReport", "lint_system"]

@@ -1,0 +1,60 @@
+"""Aggregate design-lint report for one subject system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import SpexReport
+from repro.lint.detectors import (
+    CaseSensitivityFinding,
+    OverrulingFinding,
+    UndocumentedFinding,
+    UnitFinding,
+    UnsafeApiFinding,
+    detect_case_sensitivity,
+    detect_silent_overruling,
+    detect_undocumented,
+    detect_unit_inconsistency,
+    detect_unsafe_apis,
+)
+from repro.systems.base import SubjectSystem
+
+
+@dataclass
+class DesignLintReport:
+    system: str
+    case_sensitivity: CaseSensitivityFinding = field(
+        default_factory=CaseSensitivityFinding
+    )
+    units: UnitFinding = field(default_factory=UnitFinding)
+    overruling: OverrulingFinding = field(default_factory=OverrulingFinding)
+    unsafe: UnsafeApiFinding = field(default_factory=UnsafeApiFinding)
+    undocumented: UndocumentedFinding = field(default_factory=UndocumentedFinding)
+
+    def error_prone_count(self) -> int:
+        """Distinct error-prone constraints (Table 8-style counting:
+        overruled params + unsafe params + undocumented entries)."""
+        return (
+            len(self.overruling.params)
+            + len(self.unsafe.affected)
+            + len(self.undocumented.ranges)
+            + len(self.undocumented.control_deps)
+            + len(self.undocumented.value_rels)
+        )
+
+
+def lint_system(
+    system: SubjectSystem, spex_report: SpexReport | None = None
+) -> DesignLintReport:
+    if spex_report is None:
+        from repro.inject.campaign import Campaign
+
+        spex_report = Campaign(system).run_spex()
+    return DesignLintReport(
+        system=system.name,
+        case_sensitivity=detect_case_sensitivity(spex_report),
+        units=detect_unit_inconsistency(spex_report),
+        overruling=detect_silent_overruling(spex_report),
+        unsafe=detect_unsafe_apis(spex_report),
+        undocumented=detect_undocumented(spex_report, system.manual),
+    )

@@ -1,0 +1,6 @@
+"""Evaluation driver: regenerates every table and figure of §4."""
+
+from repro.reporting.evalrun import Evaluation, SystemResult
+from repro.reporting.tables import render_table
+
+__all__ = ["Evaluation", "SystemResult", "render_table"]

@@ -1,0 +1,41 @@
+"""Command-line interface: regenerate any table/figure on demand.
+
+Usage::
+
+    python -m repro.reporting.cli            # everything (§4)
+    python -m repro.reporting.cli table5a    # one table
+    python -m repro.reporting.cli figure3 table11
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.reporting.evalrun import Evaluation
+
+_SECTIONS = [
+    "table1", "table2", "table3", "table4", "table5a", "table5b",
+    "table6", "table7", "table8", "table9", "table10", "table11",
+    "table12", "figure3", "figure5", "figure6", "figure7",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    evaluation = Evaluation.shared()
+    if not args or args == ["all"]:
+        print(evaluation.all_tables())
+        return 0
+    unknown = [a for a in args if a not in _SECTIONS]
+    if unknown:
+        print(f"unknown section(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_SECTIONS)}", file=sys.stderr)
+        return 2
+    for name in args:
+        print(getattr(evaluation, name)())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,592 @@
+"""The full-evaluation runner.
+
+One `Evaluation` instance runs SPEX, the injection campaign and the
+design lint once per subject system (results cached), then renders
+each of the paper's tables and figure panels from live data.  The
+module-level `shared()` instance lets tests and benchmarks reuse one
+set of results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.accuracy import AccuracyReport, score_accuracy
+from repro.core.engine import SpexReport
+from repro.inject.campaign import Campaign, CampaignReport
+from repro.inject.reactions import ReactionCategory
+from repro.knowledge import Unit
+from repro.knowledge.semantic import SIZE_UNITS, TIME_UNITS
+from repro.lint import DesignLintReport, lint_system
+from repro.reporting.tables import percent, render_table
+from repro.study import case_corpus, replay_cases
+from repro.systems import all_systems, get_system
+from repro.systems.base import SubjectSystem
+from repro.systems.corpus import classify, survey_entries
+
+# The paper's presentation order for the seven systems.
+SYSTEM_ORDER = [
+    "storage_a",
+    "apache",
+    "mysql",
+    "postgresql",
+    "openldap",
+    "vsftpd",
+    "squid",
+]
+
+_CATEGORIES = [
+    ReactionCategory.CRASH_HANG,
+    ReactionCategory.EARLY_TERMINATION,
+    ReactionCategory.FUNCTIONAL_FAILURE,
+    ReactionCategory.SILENT_VIOLATION,
+    ReactionCategory.SILENT_IGNORANCE,
+]
+
+
+@dataclass
+class SystemResult:
+    system: SubjectSystem
+    spex: SpexReport
+    campaign: CampaignReport
+    lint: DesignLintReport
+    accuracy: AccuracyReport
+
+
+class Evaluation:
+    """Runs and caches the whole evaluation."""
+
+    _shared: "Evaluation | None" = None
+
+    def __init__(self) -> None:
+        self._results: dict[str, SystemResult] = {}
+
+    @classmethod
+    def shared(cls) -> "Evaluation":
+        if cls._shared is None:
+            cls._shared = cls()
+        return cls._shared
+
+    def result(self, name: str) -> SystemResult:
+        if name not in self._results:
+            system = get_system(name)
+            campaign = Campaign(system)
+            spex = campaign.run_spex()
+            report = campaign.run(spex)
+            lint = lint_system(system, spex)
+            accuracy = score_accuracy(name, spex.constraints, system.ground_truth)
+            self._results[name] = SystemResult(system, spex, report, lint, accuracy)
+        return self._results[name]
+
+    def results(self) -> list[SystemResult]:
+        return [self.result(name) for name in SYSTEM_ORDER]
+
+    # -- Table 1 ---------------------------------------------------------
+
+    def table1(self) -> str:
+        rows = []
+        for entry in survey_entries():
+            rows.append([entry.project, entry.description, classify(entry)])
+        return render_table(
+            "Table 1: Parameter-to-variable mapping in 18 software projects",
+            ["Software", "Desc.", "Type"],
+            rows,
+        )
+
+    # -- Table 2 / Table 3 (rule and taxonomy listings) --------------------
+
+    def table2(self) -> str:
+        from repro.inject.generators import default_generators
+
+        rows = []
+        for plugin in default_generators().plugins:
+            doc = (plugin.__doc__ or plugin.__class__.__doc__ or "").strip()
+            first = doc.splitlines()[0] if doc else plugin.rule_name
+            rows.append([plugin.rule_name, first])
+        return render_table(
+            "Table 2: Misconfiguration generation rules (plug-ins)",
+            ["Rule", "Generates"],
+            rows,
+        )
+
+    def table3(self) -> str:
+        from repro.inject.reactions import describe
+
+        rows = [[str(cat), describe(cat)] for cat in _CATEGORIES]
+        return render_table(
+            "Table 3: Categories of bad system reactions",
+            ["Reaction", "Description"],
+            rows,
+        )
+
+    # -- Table 4 -----------------------------------------------------------
+
+    def table4(self) -> str:
+        rows = []
+        for res in self.results():
+            system = res.system
+            loc = "-" if system.confidential_counts else str(system.loc())
+            params = (
+                "-" if system.confidential_counts else str(len(res.spex.parameters))
+            )
+            kind = "Commercial" if system.proprietary else "Open source"
+            rows.append(
+                [
+                    system.display_name,
+                    kind,
+                    loc,
+                    params,
+                    res.spex.lines_of_annotation,
+                ]
+            )
+        return render_table(
+            "Table 4: Evaluated software systems",
+            ["Software", "Proprietary", "LoC", "#Parameter", "LoA"],
+            rows,
+        )
+
+    # -- Table 5 -----------------------------------------------------------
+
+    def table5a(self) -> str:
+        rows = []
+        totals = [0] * (len(_CATEGORIES) + 1)
+        for res in self.results():
+            counts = res.campaign.counts_by_category()
+            row = [res.system.display_name]
+            for i, cat in enumerate(_CATEGORIES):
+                n = counts.get(cat, 0)
+                row.append(n)
+                totals[i] += n
+            row.append(res.campaign.total())
+            totals[-1] += res.campaign.total()
+            rows.append(row)
+        rows.append(["Total", *totals])
+        return render_table(
+            "Table 5(a): Misconfiguration vulnerabilities (bad system reactions)",
+            [
+                "Software",
+                "Crash/Hang",
+                "Early term.",
+                "Functional",
+                "Silent viol.",
+                "Silent ignor.",
+                "Total",
+            ],
+            rows,
+        )
+
+    def table5b(self) -> str:
+        rows = []
+        total = 0
+        for res in self.results():
+            n = len(res.campaign.unique_code_locations())
+            total += n
+            rows.append([res.system.display_name, n])
+        rows.append(["Total", total])
+        return render_table(
+            "Table 5(b): Corresponding source-code locations",
+            ["Software", "Source-code locations"],
+            rows,
+        )
+
+    # -- Table 6 -----------------------------------------------------------
+
+    def table6(self) -> str:
+        rows = []
+        for res in self.results():
+            finding = res.lint.case_sensitivity
+            sens, insens = len(finding.sensitive), len(finding.insensitive)
+            total = sens + insens
+            rows.append(
+                [
+                    res.system.display_name,
+                    f"{sens} ({percent(sens, total)})",
+                    f"{insens} ({percent(insens, total)})",
+                    "inconsistent" if finding.inconsistent else "consistent",
+                ]
+            )
+        return render_table(
+            "Table 6: Case-sensitivity requirements of string parameters",
+            ["Software", "Sensitive", "Insensitive", "Verdict"],
+            rows,
+        )
+
+    # -- Table 7 -----------------------------------------------------------
+
+    def table7(self) -> str:
+        headers = ["Software"] + [str(u) for u in SIZE_UNITS] + [
+            str(u) for u in TIME_UNITS
+        ]
+        rows = []
+        for res in self.results():
+            finding = res.lint.units
+            size = finding.distribution("size")
+            time_dist = finding.distribution("time")
+            row = [res.system.display_name]
+            row += [size.get(u, 0) for u in SIZE_UNITS]
+            row += [time_dist.get(u, 0) for u in TIME_UNITS]
+            rows.append(row)
+        return render_table(
+            "Table 7: Units of size- and time-related parameters",
+            headers,
+            rows,
+        )
+
+    # -- Table 8 -----------------------------------------------------------
+
+    def table8(self) -> str:
+        rows = []
+        for res in self.results():
+            lint = res.lint
+            rows.append(
+                [
+                    res.system.display_name,
+                    len(lint.overruling.params),
+                    len(lint.unsafe.affected),
+                    len(lint.undocumented.ranges),
+                    len(lint.undocumented.control_deps),
+                    len(lint.undocumented.value_rels),
+                ]
+            )
+        return render_table(
+            "Table 8: Other error-prone configuration design and handling",
+            [
+                "Software",
+                "Silent overruling",
+                "Unsafe transform.",
+                "Undoc. range",
+                "Undoc. ctrl dep.",
+                "Undoc. val. rel.",
+            ],
+            rows,
+        )
+
+    # -- Tables 9 and 10 -----------------------------------------------------
+
+    @lru_cache(maxsize=1)
+    def _replays(self):
+        out = {}
+        for name, cases in case_corpus().items():
+            out[name] = replay_cases(name, cases, self.result(name).spex)
+        return out
+
+    def table9(self) -> str:
+        rows = []
+        for name in ("storage_a", "apache", "mysql", "openldap"):
+            rep = self._replays()[name]
+            rows.append(
+                [
+                    self.result(name).system.display_name,
+                    rep.sampled,
+                    f"{len(rep.avoidable)} ({percent(len(rep.avoidable), rep.sampled)})",
+                ]
+            )
+        return render_table(
+            "Table 9: Real-world cases potentially avoided by SPEX",
+            ["Software", "Parameter misconfig.", "Potentially avoided"],
+            rows,
+        )
+
+    def table10(self) -> str:
+        rows = []
+        for name in ("storage_a", "apache", "mysql", "openldap"):
+            rep = self._replays()[name]
+            n = rep.sampled
+            rows.append(
+                [
+                    self.result(name).system.display_name,
+                    f"{len(rep.single_sw_incapability)} "
+                    f"({percent(len(rep.single_sw_incapability), n)})",
+                    f"{len(rep.cross_software)} "
+                    f"({percent(len(rep.cross_software), n)})",
+                    f"{len(rep.conform_to_constraints)} "
+                    f"({percent(len(rep.conform_to_constraints), n)})",
+                    f"{len(rep.good_reactions)} "
+                    f"({percent(len(rep.good_reactions), n)})",
+                ]
+            )
+        return render_table(
+            "Table 10: Breakdown of cases that cannot benefit from SPEX",
+            [
+                "Software",
+                "Single-SW incapab.",
+                "Cross-SW",
+                "Conform to constraints",
+                "Good reactions",
+            ],
+            rows,
+        )
+
+    # -- Table 11 -----------------------------------------------------------
+
+    def table11(self) -> str:
+        rows = []
+        totals = [0] * 5
+        for res in self.results():
+            counts = res.spex.constraint_counts()
+            row = [
+                res.system.display_name,
+                counts["basic"],
+                counts["semantic"],
+                counts["range"],
+                counts["ctrl_dep"],
+                counts["value_rel"],
+            ]
+            for i in range(5):
+                totals[i] += row[i + 1]
+            rows.append(row)
+        rows.append(["Total", *totals])
+        return render_table(
+            "Table 11: Configuration constraints inferred by SPEX",
+            ["Software", "Basic", "Semantic", "Range", "Ctrl dep.", "Value rel."],
+            rows,
+        )
+
+    # -- Table 12 -----------------------------------------------------------
+
+    def table12(self) -> str:
+        rows = []
+        for res in self.results():
+            acc = res.accuracy
+            row = [res.system.display_name]
+            for kind in ("basic", "semantic", "range", "ctrl_dep", "value_rel"):
+                value = acc.accuracy(kind)
+                row.append("N/A" if value is None else f"{value * 100.0:.1f}%")
+            rows.append(row)
+        return render_table(
+            "Table 12: Accuracy of constraint inference",
+            ["Software", "Basic", "Semantic", "Range", "Ctrl dep.", "Value rel."],
+            rows,
+        )
+
+    # -- Figures (example panels) ----------------------------------------------
+
+    def figure3(self) -> str:
+        """The six inference example panels, from live constraints."""
+        panels = []
+        storage = self.result("storage_a").spex
+        mysql = self.result("mysql").spex
+        squid = self.result("squid").spex
+        openldap = self.result("openldap").spex
+        pg = self.result("postgresql").spex
+
+        def first(pred, items, label):
+            for c in items:
+                if pred(c):
+                    return c.describe()
+            return f"<missing: {label}>"
+
+        panels.append(
+            "(a) basic type      : "
+            + first(
+                lambda c: c.param == "log.filesize",
+                storage.constraints.basic_types(),
+                "log.filesize",
+            )
+        )
+        panels.append(
+            "(b) semantic FILE   : "
+            + first(
+                lambda c: c.param == "ft_stopword_file",
+                mysql.constraints.semantic_types(),
+                "ft_stopword_file",
+            )
+        )
+        panels.append(
+            "(c) semantic PORT   : "
+            + first(
+                lambda c: c.param == "icp_port" and str(c.semantic) == "PORT",
+                squid.constraints.semantic_types(),
+                "icp_port",
+            )
+        )
+        panels.append(
+            "(d) data range      : "
+            + first(
+                lambda c: c.param == "index_intlen",
+                openldap.constraints.ranges(),
+                "index_intlen",
+            )
+        )
+        panels.append(
+            "(e) control dep.    : "
+            + first(
+                lambda c: c.param == "commit_siblings",
+                pg.constraints.control_deps(),
+                "commit_siblings",
+            )
+        )
+        panels.append(
+            "(f) value relation  : "
+            + first(
+                lambda c: {c.param, c.other_param}
+                == {"ft_min_word_len", "ft_max_word_len"},
+                mysql.constraints.value_rels(),
+                "ft word lengths",
+            )
+        )
+        return "Figure 3: inferred constraint examples\n" + "\n".join(panels)
+
+    def _find_verdict(
+        self, system: str, param: str, category: ReactionCategory,
+        rule: str | None = None,
+    ):
+        fallback = None
+        for verdict in self.result(system).campaign.verdicts:
+            if (
+                verdict.misconfiguration.primary_param == param
+                and verdict.reaction.category is category
+            ):
+                if rule is None or verdict.misconfiguration.rule == rule:
+                    return verdict
+                if fallback is None:
+                    fallback = verdict
+        return fallback
+
+    def _panel(
+        self, label: str, system: str, param: str, category, rule: str | None = None
+    ) -> str:
+        verdict = self._find_verdict(system, param, category, rule)
+        if verdict is None:
+            return f"{label}: <no verdict for {system}/{param}>"
+        settings = ", ".join(f"{k}={v}" for k, v in verdict.misconfiguration.settings)
+        return (
+            f"{label}: inject [{settings}] -> {verdict.reaction.category} "
+            f"({verdict.reaction.detail})"
+        )
+
+    def figure5(self) -> str:
+        panels = [
+            self._panel(
+                "(a) basic-type violation    ",
+                "storage_a",
+                "log.filesize",
+                ReactionCategory.SILENT_VIOLATION,
+                rule="basic-type",
+            ),
+            self._panel(
+                "(b) semantic violation FILE ",
+                "mysql",
+                "ft_stopword_file",
+                ReactionCategory.CRASH_HANG,
+            ),
+            self._panel(
+                "(c) semantic violation PORT ",
+                "squid",
+                "icp_port",
+                ReactionCategory.EARLY_TERMINATION,
+            ),
+            self._panel(
+                "(d) data-range violation    ",
+                "openldap",
+                "index_intlen",
+                ReactionCategory.SILENT_VIOLATION,
+            ),
+            self._panel(
+                "(e) control-dep violation   ",
+                "postgresql",
+                "commit_siblings",
+                ReactionCategory.SILENT_IGNORANCE,
+            ),
+            self._panel(
+                "(f) value-rel violation     ",
+                "mysql",
+                "ft_min_word_len",
+                ReactionCategory.FUNCTIONAL_FAILURE,
+            ),
+        ]
+        return "Figure 5: injection examples and exposed reactions\n" + "\n".join(
+            panels
+        )
+
+    def figure6(self) -> str:
+        mysql = self.result("mysql")
+        apache = self.result("apache")
+        squid = self.result("squid")
+        lines = ["Figure 6: error-prone design and handling examples"]
+        cs = mysql.lint.case_sensitivity
+        lines.append(
+            "(a) case-sensitivity inconsistency (MySQL): "
+            f"sensitive={cs.sensitive} vs insensitive={cs.insensitive}"
+        )
+        unit_of = {
+            c.param: c.unit
+            for c in apache.spex.constraints.semantic_types()
+            if c.unit is not None
+        }
+        lines.append(
+            "(b) unit inconsistency (Apache): "
+            f"MaxMemFree={unit_of.get('MaxMemFree')} "
+            f"vs SendBufferSize={unit_of.get('SendBufferSize')}"
+        )
+        lines.append(
+            "(c) silent overruling (Squid): "
+            + ", ".join(squid.lint.overruling.params[:4])
+        )
+        sscanf_params = sorted(
+            p for p, apis in squid.lint.unsafe.params.items() if "sscanf" in apis
+        )
+        lines.append(
+            "(d) unsafe API (Squid sscanf %i): " + ", ".join(sscanf_params[:4])
+        )
+        return "\n".join(lines)
+
+    def figure7(self) -> str:
+        panels = [
+            self._panel(
+                "(a) system crash            ",
+                "mysql",
+                "performance_schema_events_waits_history_size",
+                ReactionCategory.CRASH_HANG,
+                rule="extreme-value",
+            ),
+            self._panel(
+                "(b) early term., misleading ",
+                "apache",
+                "ThreadLimit",
+                ReactionCategory.EARLY_TERMINATION,
+                rule="extreme-value",
+            ),
+            self._panel(
+                "(c) functional failure      ",
+                "openldap",
+                "sockbuf_max_incoming",
+                ReactionCategory.FUNCTIONAL_FAILURE,
+            ),
+            self._panel(
+                "(d) silent violation        ",
+                "storage_a",
+                "wafl.cache.mb",
+                ReactionCategory.SILENT_VIOLATION,
+            ),
+            self._panel(
+                "(e) silent ignorance        ",
+                "vsftpd",
+                "virtual_use_local_privs",
+                ReactionCategory.SILENT_IGNORANCE,
+            ),
+        ]
+        return "Figure 7: further vulnerability examples\n" + "\n".join(panels)
+
+    def all_tables(self) -> str:
+        sections = [
+            self.table1(),
+            self.table2(),
+            self.table3(),
+            self.table4(),
+            self.table5a(),
+            self.table5b(),
+            self.table6(),
+            self.table7(),
+            self.table8(),
+            self.table9(),
+            self.table10(),
+            self.table11(),
+            self.table12(),
+            self.figure3(),
+            self.figure5(),
+            self.figure6(),
+            self.figure7(),
+        ]
+        return "\n\n".join(sections)

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for the evaluation output."""
+
+from __future__ import annotations
+
+
+def render_table(
+    title: str, headers: list[str], rows: list[list[object]]
+) -> str:
+    """Monospace table with a title rule, right-padding per column."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def percent(part: int, whole: int) -> str:
+    if whole == 0:
+        return "n/a"
+    return f"{100.0 * part / whole:.1f}%"

@@ -1,0 +1,71 @@
+"""Fault model for the MiniC runtime.
+
+These exceptions are the interpreter's equivalents of POSIX process
+death: they carry the signal-style reason SPEX-INJ's classifier keys
+on (Table 3's crash/hang category).
+"""
+
+from __future__ import annotations
+
+from repro.lang.source import Location
+
+
+class MachineFault(Exception):
+    """Base: the process died abnormally (would be a signal on POSIX)."""
+
+    signal_name = "SIGKILL"
+    console_message = "Killed"
+
+    def __init__(self, reason: str, location: Location | None = None):
+        self.reason = reason
+        self.location = location
+        super().__init__(reason)
+
+
+class SegmentationFault(MachineFault):
+    """NULL deref, out-of-bounds access, deref of a non-pointer."""
+
+    signal_name = "SIGSEGV"
+    console_message = "Segmentation fault (core dumped)"
+
+
+class DivisionFault(MachineFault):
+    """Integer division/modulo by zero (SIGFPE)."""
+
+    signal_name = "SIGFPE"
+    console_message = "Floating point exception (core dumped)"
+
+
+class AbortFault(MachineFault):
+    """Explicit abort() call (SIGABRT), e.g. failed assert."""
+
+    signal_name = "SIGABRT"
+    console_message = "Aborted (core dumped)"
+
+
+class StackOverflowFault(MachineFault):
+    """Runaway recursion; manifests as SIGSEGV on real systems."""
+
+    signal_name = "SIGSEGV"
+    console_message = "Segmentation fault (core dumped)"
+
+
+class HangFault(Exception):
+    """The step or virtual-time budget was exhausted.
+
+    Not a MachineFault: a hung process does not die, the harness's
+    watchdog gives up on it (the paper counts hangs with crashes as
+    the most severe reaction category).
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class ExitProcess(Exception):
+    """Normal process exit via exit(code) or returning from main."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exit({code})")

@@ -1,0 +1,88 @@
+"""Process-level run results: what SPEX-INJ's harness observes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang.program import Program
+from repro.lang.source import Location
+from repro.runtime.faults import ExitProcess, HangFault, MachineFault
+from repro.runtime.interpreter import Interpreter, InterpreterOptions
+from repro.runtime.os_model import EmulatedOS, LogRecord
+
+
+class ProcessStatus(enum.Enum):
+    EXITED = "exited"
+    CRASHED = "crashed"
+    HUNG = "hung"
+
+
+@dataclass
+class ProcessResult:
+    """Externally observable outcome of one subject-system run."""
+
+    status: ProcessStatus
+    exit_code: int | None = None
+    fault_signal: str | None = None
+    fault_reason: str | None = None
+    fault_location: Location | None = None
+    logs: list[LogRecord] = field(default_factory=list)
+    responses: list[str] = field(default_factory=list)
+    steps: int = 0
+    interpreter: Interpreter | None = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is ProcessStatus.CRASHED
+
+    @property
+    def hung(self) -> bool:
+        return self.status is ProcessStatus.HUNG
+
+    @property
+    def exited_ok(self) -> bool:
+        return self.status is ProcessStatus.EXITED and self.exit_code == 0
+
+    def log_text(self) -> str:
+        return "\n".join(f"[{r.stream}] {r.text}" for r in self.logs)
+
+    def logs_mention(self, needle: str) -> bool:
+        if not needle:
+            return False
+        needle_low = needle.lower()
+        return any(needle_low in record.text.lower() for record in self.logs)
+
+
+def run_program(
+    program: Program,
+    os_model: EmulatedOS | None = None,
+    argv: list[str] | None = None,
+    options: InterpreterOptions | None = None,
+) -> ProcessResult:
+    """Execute a program's main() and capture the process outcome."""
+    os_model = os_model if os_model is not None else EmulatedOS()
+    interp = Interpreter(program, os_model, options)
+    try:
+        code = interp.run_main(argv)
+        result = ProcessResult(status=ProcessStatus.EXITED, exit_code=code)
+    except MachineFault as fault:
+        os_model.log("console", fault.console_message)
+        result = ProcessResult(
+            status=ProcessStatus.CRASHED,
+            fault_signal=fault.signal_name,
+            fault_reason=fault.reason,
+            fault_location=fault.location,
+        )
+    except HangFault as hang:
+        result = ProcessResult(
+            status=ProcessStatus.HUNG,
+            fault_reason=hang.reason,
+        )
+    except ExitProcess as exit_:
+        result = ProcessResult(status=ProcessStatus.EXITED, exit_code=exit_.code)
+    result.logs = list(os_model.logs)
+    result.responses = list(os_model.responses)
+    result.steps = interp.steps
+    result.interpreter = interp
+    return result

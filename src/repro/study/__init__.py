@@ -1,0 +1,14 @@
+"""Real-world misconfiguration case study (§4.2, Tables 9 and 10).
+
+The paper replays 423 historical cases (246 from Storage-A's customer
+issue database, 177 from forums/mailing lists/ServerFault) against the
+inferred constraints.  The reproduction substitutes a synthetic corpus
+generated to the published per-category marginals; the *replay* then
+recomputes avoidability from the actually-inferred constraints rather
+than reading the labels back.
+"""
+
+from repro.study.cases import HistoricalCase, case_corpus
+from repro.study.replay import ReplayReport, replay_cases
+
+__all__ = ["HistoricalCase", "ReplayReport", "case_corpus", "replay_cases"]

@@ -1,0 +1,160 @@
+"""Synthetic historical misconfiguration cases.
+
+Each case names the misconfigured parameter (when one exists), what
+the user did, and which constraint kind the mistake violates.  The
+four studied systems get case sets whose category mix follows the
+paper's Tables 9-10 marginals; the replay classifies every case
+against the live SPEX constraints, so a case is only counted
+"avoidable" if the reproduction actually infers a matching constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HistoricalCase:
+    """One user-reported misconfiguration."""
+
+    case_id: str
+    system: str
+    param: str | None
+    description: str
+    # The kind of mistake: basic | semantic | range | ctrl_dep |
+    # value_rel | format | cross_software | conform | good_reaction
+    kind: str
+
+    @property
+    def in_spex_scope(self) -> bool:
+        return self.kind in ("basic", "semantic", "range", "ctrl_dep", "value_rel")
+
+
+def _cases(system: str, specs: list[tuple[str | None, str, str]]) -> list[HistoricalCase]:
+    return [
+        HistoricalCase(f"{system}-{i:03d}", system, param, desc, kind)
+        for i, (param, kind, desc) in enumerate(specs, start=1)
+    ]
+
+
+def storage_a_cases() -> list[HistoricalCase]:
+    """29 sampled Storage-A customer cases (paper: 246, 27.6% avoidable)."""
+    return _cases(
+        "storage_a",
+        [
+            # -- within SPEX scope (8 expected avoidable) --
+            ("log.filesize", "basic", "set log.filesize to 9G; 9 bytes used"),
+            ("log.filesize", "range", "log.filesize far below working minimum"),
+            ("iscsi.initiator.name", "range", "initiator name typed in capitals (TARGET)"),
+            ("cleanup.msec", "semantic", "cleanup interval given in seconds, unit is msec"),
+            ("wafl.cache.mb", "range", "cache size beyond platform maximum"),
+            ("takeover.sec", "semantic", "takeover window given in minutes"),
+            ("iscsi.max.connections", "ctrl_dep", "connection cap set with iscsi.enable off"),
+            ("autosupport.mailhost", "ctrl_dep", "mailhost set while autosupport disabled"),
+            # -- single-software inference incapability (format etc.) --
+            ("iscsi.initiator.name", "format", "IQN string missing the date field"),
+            (None, "format", "schedule string in cron syntax rejected"),
+            ("security.admin.mode", "format", "mode list given comma-separated"),
+            # -- cross-software --
+            (None, "cross_software", "client multipath settings conflict with array"),
+            (None, "cross_software", "Windows host iSCSI timeout below array takeover"),
+            (None, "cross_software", "backup software expects NFSv3, filer exports v4"),
+            (None, "cross_software", "DNS server returns stale name for mailhost"),
+            (None, "cross_software", "switch MTU mismatch with filer interface"),
+            (None, "cross_software", "AD domain controller clock skew breaks CIFS"),
+            # -- conform to constraints but wrong intention --
+            ("snapshot.reserve.gb", "conform", "reserve valid but too small for workload"),
+            ("nfs.tcp.xfersize", "conform", "transfer size valid but suboptimal"),
+            ("dedupe.schedule.min", "conform", "schedule valid but overlaps backup window"),
+            ("wafl.cache.mb", "conform", "cache valid but starves other volumes"),
+            ("heartbeat.sec", "conform", "heartbeat valid but too aggressive for WAN"),
+            ("log.rotate.count", "conform", "rotation count valid but fills disk"),
+            ("scrub.interval.hour", "conform", "scrub interval valid but during peak load"),
+            # -- good reactions, still reported --
+            ("security.admin.mode", "good_reaction", "error printed, user confused by wording"),
+            ("cifs.enable", "good_reaction", "on/off error printed, ticket filed anyway"),
+            ("nfs.enable", "good_reaction", "clear message, user asked support to confirm"),
+            ("autosupport.enable", "good_reaction", "message understood late"),
+            ("takeover.sec", "good_reaction", "range message printed, user disbelieved it"),
+        ],
+    )
+
+
+def apache_cases() -> list[HistoricalCase]:
+    """16 sampled Apache cases (paper: 50, 38.0% avoidable)."""
+    return _cases(
+        "apache",
+        [
+            ("MaxMemFree", "semantic", "assumed bytes; directive is KBytes"),
+            ("ThreadLimit", "basic", "huge ThreadLimit aborts at startup"),
+            ("Listen", "semantic", "port already taken by another server"),
+            ("DocumentRoot", "semantic", "path points to a file, not a directory"),
+            ("KeepAliveTimeout", "ctrl_dep", "timeout tuned while KeepAlive off"),
+            ("User", "semantic", "nonexistent account in User directive"),
+            ("HostnameLookups", "range", "value 'enable' silently treated as off"),
+            (None, "format", "Include pattern with unsupported glob"),
+            (None, "format", "rewrite rule regex flavour mismatch"),
+            (None, "cross_software", "PHP module built for different MPM"),
+            (None, "cross_software", "SELinux denies DocumentRoot access"),
+            (None, "cross_software", "load balancer health check path missing"),
+            ("SendBufferSize", "conform", "valid size, kernel clamps it silently"),
+            ("ThreadsPerChild", "conform", "valid count, too low for the load"),
+            ("LogLevel", "good_reaction", "clear invalid-level message, still reported"),
+            ("KeepAlive", "good_reaction", "On/Off error clear, user filed bug"),
+        ],
+    )
+
+
+def mysql_cases() -> list[HistoricalCase]:
+    """15 sampled MySQL cases (paper: 47, 29.8% avoidable)."""
+    return _cases(
+        "mysql",
+        [
+            ("ft_min_word_len", "value_rel", "min word length set above max"),
+            ("ft_stopword_file", "semantic", "stopword path is a directory"),
+            ("performance_schema_events_waits_history_size", "basic",
+             "history size 0 crashes the server"),
+            ("innodb_file_format_check", "range", "'barracuda' lowercase not accepted"),
+            ("max_allowed_packet", "range", "packet size beyond table maximum"),
+            (None, "format", "sql_mode list with misspelled flag"),
+            (None, "format", "charset collation pair invalid"),
+            (None, "format", "my.cnf section header misplaced"),
+            (None, "cross_software", "client library caps packet below server"),
+            (None, "cross_software", "AppArmor denies datadir relocation"),
+            (None, "cross_software", "replication peer version mismatch"),
+            ("wait_timeout", "conform", "valid timeout, pool recycles too late"),
+            ("key_buffer_size", "conform", "valid size, starves InnoDB pool"),
+            ("table_open_cache", "conform", "valid but below workload needs"),
+            ("port", "good_reaction", "bind error names the port, reported anyway"),
+        ],
+    )
+
+
+def openldap_cases() -> list[HistoricalCase]:
+    """12 sampled OpenLDAP cases (paper: 49, 24.5% avoidable)."""
+    return _cases(
+        "openldap",
+        [
+            ("listener-threads", "basic", "listener-threads 32 segfaults at startup"),
+            ("index_intlen", "range", "index length 300 silently clamped"),
+            ("sockbuf_max_incoming", "semantic", "PDU cap too small, clients dropped"),
+            (None, "format", "ACL 'by' clause ordering invalid"),
+            (None, "format", "DN syntax error in suffix"),
+            (None, "format", "schema attribute OID collision"),
+            (None, "cross_software", "client libldap TLS defaults differ"),
+            (None, "cross_software", "SASL library missing mechanism"),
+            ("cachesize", "conform", "valid cache size, thrashing anyway"),
+            ("sizelimit", "conform", "valid limit, apps expect more entries"),
+            ("threads", "good_reaction", "range message printed, ticket anyway"),
+            ("readonly", "good_reaction", "on/off message clear, reported anyway"),
+        ],
+    )
+
+
+def case_corpus() -> dict[str, list[HistoricalCase]]:
+    return {
+        "storage_a": storage_a_cases(),
+        "apache": apache_cases(),
+        "mysql": mysql_cases(),
+        "openldap": openldap_cases(),
+    }

@@ -1,0 +1,101 @@
+"""Replay historical cases against live SPEX constraints.
+
+A case is *potentially avoided* (Table 9) when the reproduction really
+infers a constraint of the case's kind for the case's parameter -
+i.e. SPEX-INJ would have exposed the bad reaction, or the lint pass
+the design flaw, before any user hit it.  Cases that cannot benefit
+are broken down as in Table 10: single-software inference
+incapability, cross-software correlation, settings that conform to all
+constraints but miss the user's intention, and reactions that were
+already good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+from repro.core.engine import SpexReport
+from repro.study.cases import HistoricalCase
+
+
+@dataclass
+class ReplayReport:
+    system: str
+    sampled: int = 0
+    avoidable: list[HistoricalCase] = field(default_factory=list)
+    single_sw_incapability: list[HistoricalCase] = field(default_factory=list)
+    cross_software: list[HistoricalCase] = field(default_factory=list)
+    conform_to_constraints: list[HistoricalCase] = field(default_factory=list)
+    good_reactions: list[HistoricalCase] = field(default_factory=list)
+
+    @property
+    def avoidable_fraction(self) -> float:
+        return len(self.avoidable) / self.sampled if self.sampled else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        return {
+            "avoidable": len(self.avoidable),
+            "single_sw": len(self.single_sw_incapability),
+            "cross_sw": len(self.cross_software),
+            "conform": len(self.conform_to_constraints),
+            "good": len(self.good_reactions),
+        }
+
+
+_KIND_TO_TYPES = {
+    "basic": (BasicTypeConstraint,),
+    "semantic": (SemanticTypeConstraint,),
+    "range": (NumericRangeConstraint, EnumRangeConstraint),
+    "ctrl_dep": (ControlDepConstraint,),
+    "value_rel": (ValueRelConstraint,),
+}
+
+
+def _constraint_covers(report: SpexReport, case: HistoricalCase) -> bool:
+    if case.param is None:
+        return False
+    wanted = _KIND_TO_TYPES.get(case.kind)
+    if wanted is None:
+        return False
+    for constraint in report.constraints.for_param(case.param):
+        if isinstance(constraint, wanted):
+            return True
+    if isinstance(wanted[0], type) and case.kind == "value_rel":
+        # Relations are symmetric: the case's param may be the partner.
+        for constraint in report.constraints.value_rels():
+            if constraint.other_param == case.param:
+                return True
+    # Case-sensitivity mistakes are covered by the sensitivity map
+    # even without an enum constraint.
+    if case.kind == "range" and report.case_sensitivity.get(case.param):
+        return True
+    return False
+
+
+def replay_cases(
+    system_name: str,
+    cases: list[HistoricalCase],
+    report: SpexReport,
+) -> ReplayReport:
+    out = ReplayReport(system=system_name, sampled=len(cases))
+    for case in cases:
+        if case.kind == "cross_software":
+            out.cross_software.append(case)
+        elif case.kind == "conform":
+            out.conform_to_constraints.append(case)
+        elif case.kind == "good_reaction":
+            out.good_reactions.append(case)
+        elif case.in_spex_scope and _constraint_covers(report, case):
+            out.avoidable.append(case)
+        else:
+            # format constraints and missed inferences both land here
+            out.single_sw_incapability.append(case)
+    return out

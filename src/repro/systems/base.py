@@ -1,0 +1,150 @@
+"""Subject-system descriptor: everything the tools need to analyse,
+run, and judge one system.
+
+* sources + annotations       -> SPEX
+* dialect + default config    -> SPEX-INJ's AR
+* functional tests + oracles  -> SPEX-INJ's testing loop
+* effective-value locations   -> silent-violation detection
+* manual                      -> undocumented-constraint detection
+* ground truth                -> Table 12 accuracy
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.accuracy import TruthEntry
+from repro.inject.ar import ConfigAR, ConfigDialect
+from repro.knowledge.apis import ApiSpec
+from repro.lang.program import Program
+from repro.runtime.os_model import EmulatedOS
+
+
+@dataclass
+class FunctionalTest:
+    """One functional test: traffic plus an oracle over the responses.
+
+    `duration` is the nominal wall-clock cost used by the paper's
+    shortest-test-first scheduling optimisation.
+    """
+
+    name: str
+    requests: list[str]
+    oracle: Callable[[list[str]], bool]
+    duration: float = 1.0
+
+
+# Decoders turn the *injected string* into the value a user intends;
+# silent violation = effective value differs without notification.
+
+
+def decode_int(text: str) -> object:
+    try:
+        return int(text.strip())
+    except ValueError:
+        return text.strip()
+
+
+_SIZE_SUFFIXES = {
+    "k": 1024,
+    "kb": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+}
+
+
+def decode_size(text: str) -> object:
+    """User intent for size values: understands K/M/G suffixes."""
+    raw = text.strip().lower()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)].strip()
+            try:
+                return int(number) * _SIZE_SUFFIXES[suffix]
+            except ValueError:
+                return text
+    return decode_int(text)
+
+
+_TRUE_WORDS = {"on", "yes", "true", "enable", "enabled", "1"}
+_FALSE_WORDS = {"off", "no", "false", "disable", "disabled", "0"}
+
+
+def decode_bool(text: str) -> object:
+    raw = text.strip().lower()
+    if raw in _TRUE_WORDS:
+        return 1
+    if raw in _FALSE_WORDS:
+        return 0
+    return text
+
+
+def decode_string(text: str) -> object:
+    return text.strip()
+
+
+def decode_time_seconds(text: str) -> object:
+    return decode_int(text)
+
+
+@dataclass
+class SubjectSystem:
+    """A complete evaluated system."""
+
+    name: str
+    display_name: str
+    description: str
+    sources: dict[str, str]
+    annotations: str
+    dialect: ConfigDialect
+    config_path: str
+    default_config: str
+    tests: list[FunctionalTest] = field(default_factory=list)
+    # param -> (global var, field path) for post-run effective values
+    effective_locations: dict[str, tuple[str, tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    # param -> decoder from injected string to intended value
+    decoders: dict[str, Callable[[str], object]] = field(default_factory=dict)
+    manual: dict[str, str] = field(default_factory=dict)
+    ground_truth: list[TruthEntry] = field(default_factory=list)
+    custom_knowledge: list[ApiSpec] = field(default_factory=list)
+    setup_os: Callable[[EmulatedOS], None] | None = None
+    proprietary: bool = False
+    # Parameters whose count the vendor keeps confidential (Storage-A).
+    confidential_counts: bool = False
+
+    _program: Program | None = None
+
+    def program(self) -> Program:
+        """Parse-and-link, memoized."""
+        if self._program is None:
+            self._program = Program.from_sources(self.sources, name=self.name)
+        return self._program
+
+    def template_ar(self) -> ConfigAR:
+        return ConfigAR.parse(self.default_config, self.dialect)
+
+    def loc(self) -> int:
+        return self.program().count_code_lines()
+
+    def make_os(self) -> EmulatedOS:
+        os_model = EmulatedOS()
+        # Standard fixtures every system's injection campaign relies on:
+        # a directory where a file is expected, a plain file where a
+        # directory is expected, and one occupied port.
+        os_model.add_dir("/data/injected_dir")
+        os_model.add_file("/data/injected_file", "not a directory\n")
+        os_model.occupy_port(3130)
+        if self.setup_os is not None:
+            self.setup_os(os_model)
+        return os_model
+
+    def install_config(self, os_model: EmulatedOS, text: str) -> None:
+        os_model.add_file(self.config_path, text)
+
+    def decoder_for(self, param: str) -> Callable[[str], object]:
+        return self.decoders.get(param, decode_string)

@@ -1,0 +1,45 @@
+"""Registry of the seven evaluated subject systems."""
+
+from __future__ import annotations
+
+from repro.systems.base import SubjectSystem
+
+_BUILDERS = {}
+_CACHE: dict[str, SubjectSystem] = {}
+
+
+def register(name: str):
+    def deco(fn):
+        _BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    # Import for side effects (each module registers its builder).
+    from repro.systems import (  # noqa: F401
+        apache,
+        mysql,
+        openldap,
+        postgresql,
+        squid,
+        storage_a,
+        vsftpd,
+    )
+
+
+def system_names() -> list[str]:
+    _ensure_loaded()
+    return sorted(_BUILDERS)
+
+
+def get_system(name: str) -> SubjectSystem:
+    _ensure_loaded()
+    if name not in _CACHE:
+        _CACHE[name] = _BUILDERS[name]()
+    return _CACHE[name]
+
+
+def all_systems() -> list[SubjectSystem]:
+    return [get_system(name) for name in system_names()]

@@ -1,0 +1,356 @@
+"""Unit tests for the taint/dataflow engine."""
+
+from repro.analysis import (
+    BranchCondEvent,
+    CallArgEvent,
+    CastEvent,
+    GetterSpec,
+    GlobalSeed,
+    ParamSeed,
+    StoreEvent,
+    StringCompareEvent,
+    SwitchCaseEvent,
+    TaintEngine,
+    UsageEvent,
+)
+from repro.ir import build_ir
+from repro.lang.program import Program
+
+
+def analyze(source, seeds, getters=None):
+    module = build_ir(Program.from_sources({"t.c": source}))
+    return TaintEngine(module, seeds, getters).run()
+
+
+class TestSeedPropagation:
+    def test_global_seed_reaches_call(self):
+        result = analyze(
+            """
+            char *stopword_file;
+            int init() { int fd = open(stopword_file, 0); return fd; }
+            """,
+            [GlobalSeed("ft_stopword_file", "stopword_file")],
+        )
+        events = result.events_of(CallArgEvent)
+        open_events = [e for e in events if e.callee == "open"]
+        assert open_events
+        assert "ft_stopword_file" in open_events[0].labels.names()
+        assert open_events[0].arg_index == 0
+
+    def test_param_seed_reaches_call(self):
+        result = analyze(
+            """
+            int set_root(char *arg) { return access(arg, 0); }
+            """,
+            [ParamSeed("DocumentRoot", "set_root", "arg")],
+        )
+        events = [e for e in result.events_of(CallArgEvent) if e.callee == "access"]
+        assert events
+        assert "DocumentRoot" in events[0].labels.names()
+
+    def test_interprocedural_flow_through_helper(self):
+        # The MySQL my_open pattern from Figure 3(b): parameter passed
+        # through a wrapper before hitting the syscall.
+        result = analyze(
+            """
+            char *stopword_file;
+            int my_open(char *FileName, int flags) {
+                return open(FileName, flags);
+            }
+            int init() { return my_open(stopword_file, 0); }
+            """,
+            [GlobalSeed("ft_stopword_file", "stopword_file")],
+        )
+        open_events = [
+            e for e in result.events_of(CallArgEvent) if e.callee == "open"
+        ]
+        assert open_events
+        assert "ft_stopword_file" in open_events[0].labels.names()
+        # Context: the event's chain passes through init's call site.
+        assert any(e.chain and e.chain[-1].caller == "init" for e in open_events)
+
+    def test_field_sensitive_struct_global(self):
+        result = analyze(
+            """
+            struct conf { int timeout; int retries; };
+            struct conf cfg;
+            int worker() { sleep(cfg.timeout); return cfg.retries; }
+            """,
+            [GlobalSeed("idle_timeout", "cfg", ("timeout",))],
+        )
+        sleep_events = [
+            e for e in result.events_of(CallArgEvent) if e.callee == "sleep"
+        ]
+        assert sleep_events
+        assert "idle_timeout" in sleep_events[0].labels.names()
+        # retries is a different field: no cross-contamination.
+        for e in result.events_of(CallArgEvent):
+            if e.callee != "sleep":
+                assert "idle_timeout" not in e.labels.names()
+
+    def test_pointer_param_field_seed(self):
+        # OpenLDAP's config_generic(ConfigArgs *c) pattern.
+        result = analyze(
+            """
+            struct config_args { int value_int; };
+            int config_generic(struct config_args *c) {
+                if (c->value_int < 4) { c->value_int = 4; }
+                return c->value_int;
+            }
+            """,
+            [ParamSeed("index_intlen", "config_generic", "c", ("value_int",))],
+        )
+        branches = result.events_of(BranchCondEvent)
+        assert branches
+        assert "index_intlen" in branches[0].left.labels.names()
+        assert branches[0].right.const == 4
+
+    def test_getter_container_mapping(self):
+        result = analyze(
+            """
+            int get_i32(char *key);
+            int setup() {
+                int interval = get_i32("Connection.Retry.Interval");
+                sleep(interval);
+                return 0;
+            }
+            """,
+            [],
+            getters=[GetterSpec("get_i32", 0)],
+        )
+        sleep_events = [
+            e for e in result.events_of(CallArgEvent) if e.callee == "sleep"
+        ]
+        assert sleep_events
+        assert "Connection.Retry.Interval" in sleep_events[0].labels.names()
+
+    def test_transform_call_passes_taint_through(self):
+        result = analyze(
+            """
+            int set_port(char *arg) {
+                int port = atoi(arg);
+                return bind(0, port);
+            }
+            """,
+            [ParamSeed("listen_port", "set_port", "arg")],
+        )
+        bind_events = [e for e in result.events_of(CallArgEvent) if e.callee == "bind"]
+        assert bind_events
+        assert any(e.arg_index == 1 for e in bind_events)
+
+
+class TestEvents:
+    def test_cast_event_records_type(self):
+        result = analyze(
+            """
+            char *size_str;
+            long parse() { return (int)strtol(size_str, NULL, 10); }
+            """,
+            [GlobalSeed("log.filesize", "size_str")],
+        )
+        casts = result.events_of(CastEvent)
+        assert casts
+        assert str(casts[0].type) == "int"
+        assert "log.filesize" in casts[0].labels.names()
+
+    def test_branch_events_carry_comparison(self):
+        result = analyze(
+            """
+            int intlen;
+            int check() {
+                if (intlen < 4) { return 1; }
+                else if (intlen > 255) { return 2; }
+                return 0;
+            }
+            """,
+            [GlobalSeed("index_intlen", "intlen")],
+        )
+        branches = result.events_of(BranchCondEvent)
+        ops = {(b.op, b.right.const) for b in branches}
+        assert ("<", 4) in ops
+        assert (">", 255) in ops
+
+    def test_store_event_on_param_reset(self):
+        result = analyze(
+            """
+            int intlen;
+            int clamp() {
+                if (intlen > 255) { intlen = 255; }
+                return intlen;
+            }
+            """,
+            [GlobalSeed("index_intlen", "intlen")],
+        )
+        stores = [
+            e
+            for e in result.events_of(StoreEvent)
+            if "index_intlen" in e.target_labels.names() and e.src_is_const
+        ]
+        assert stores
+        assert stores[0].src_const == 255
+
+    def test_string_compare_event(self):
+        result = analyze(
+            """
+            char *mode;
+            int check() {
+                if (strcasecmp(mode, "on") == 0) { return 1; }
+                return 0;
+            }
+            """,
+            [GlobalSeed("cache_mode", "mode")],
+        )
+        compares = result.events_of(StringCompareEvent)
+        assert compares
+        assert compares[0].const_other == "on"
+        assert compares[0].case_sensitive is False
+
+    def test_switch_event(self):
+        result = analyze(
+            """
+            int level;
+            int check() {
+                switch (level) {
+                    case 1: return 1;
+                    case 2: return 2;
+                    default: return 0;
+                }
+            }
+            """,
+            [GlobalSeed("log_level", "level")],
+        )
+        switches = result.events_of(SwitchCaseEvent)
+        assert switches
+        assert {c for c, _ in switches[0].cases} == {1, 2}
+
+    def test_usage_excludes_plain_copy(self):
+        # A copy to another variable is NOT usage (thin slicing rule).
+        result = analyze(
+            """
+            int timeout;
+            int shadow;
+            int copy_only() { shadow = timeout; return 0; }
+            """,
+            [GlobalSeed("timeout", "timeout")],
+        )
+        usages = [
+            u
+            for u in result.events_of(UsageEvent)
+            if "timeout" in u.labels.names() and u.function == "copy_only"
+        ]
+        assert not usages
+
+    def test_usage_includes_arith_branch_libcall(self):
+        result = analyze(
+            """
+            int timeout;
+            int use_all() {
+                int doubled = timeout * 2;
+                if (timeout > 10) { sleep(timeout); }
+                return doubled;
+            }
+            """,
+            [GlobalSeed("timeout", "timeout")],
+        )
+        kinds = {
+            u.kind
+            for u in result.events_of(UsageEvent)
+            if "timeout" in u.labels.names()
+        }
+        assert kinds == {"arith", "branch", "libcall"}
+
+
+class TestContextSensitivity:
+    def test_no_cross_contamination_between_call_sites(self):
+        # Two parameters flow through the same helper; comparisons
+        # inside the helper must not fuse their labels.
+        result = analyze(
+            """
+            int min_len;
+            int max_len;
+            int clamp(int v) {
+                if (v > 100) { v = 100; }
+                return v;
+            }
+            int setup() {
+                int a = clamp(min_len);
+                int b = clamp(max_len);
+                return a + b;
+            }
+            """,
+            [GlobalSeed("ft_min_word_len", "min_len"), GlobalSeed("ft_max_word_len", "max_len")],
+        )
+        # Each invocation sees only its own label.
+        for event in result.events_of(BranchCondEvent):
+            if event.function == "clamp":
+                names = event.left.labels.names()
+                assert names in ({"ft_min_word_len"}, {"ft_max_word_len"})
+
+    def test_pointer_aliasing_misattributes(self):
+        # Without alias analysis, a re-targeted pointer attributes
+        # facts to both parameters (the paper's OpenLDAP inaccuracy).
+        result = analyze(
+            """
+            int param_a;
+            int param_b;
+            int poke(int which) {
+                int *p = &param_a;
+                if (which) { p = &param_b; }
+                if (*p > 64) { return 1; }
+                return 0;
+            }
+            """,
+            [GlobalSeed("a_limit", "param_a"), GlobalSeed("b_limit", "param_b")],
+        )
+        branches = [
+            b
+            for b in result.events_of(BranchCondEvent)
+            if b.right.const == 64
+        ]
+        assert branches
+        names = branches[0].left.labels.names()
+        assert names == {"a_limit", "b_limit"}  # mis-attribution, by design
+
+    def test_writeback_through_pointer_argument(self):
+        result = analyze(
+            """
+            char *raw;
+            long out_value;
+            void parse_into(char *s, long *dest) { *dest = strtol(s, NULL, 10); }
+            int setup() { parse_into(raw, &out_value); return 0; }
+            """,
+            [GlobalSeed("max_size", "raw")],
+        )
+        # The labels flowed through the out-pointer back into the
+        # caller's global.
+        labels = result.global_labels.get(("global", "out_value", ()), {})
+        assert "max_size" in labels
+
+
+class TestHopCounting:
+    def test_direct_use_has_zero_hops(self):
+        result = analyze(
+            """
+            int timeout;
+            int f() { if (timeout > 5) { return 1; } return 0; }
+            """,
+            [GlobalSeed("timeout", "timeout")],
+        )
+        branch = result.events_of(BranchCondEvent)[0]
+        assert dict(branch.left.labels.entries)["timeout"] == 0
+
+    def test_copy_through_named_var_increments_hops(self):
+        result = analyze(
+            """
+            int timeout;
+            int f() {
+                int local_copy = timeout;
+                if (local_copy > 5) { return 1; }
+                return 0;
+            }
+            """,
+            [GlobalSeed("timeout", "timeout")],
+        )
+        branch = result.events_of(BranchCondEvent)[0]
+        hops = dict(branch.left.labels.entries)["timeout"]
+        assert hops == 1

@@ -1,0 +1,10 @@
+"""Shared fixtures: one evaluation run for all integration tests."""
+
+import pytest
+
+from repro.reporting import Evaluation
+
+
+@pytest.fixture(scope="session")
+def evaluation():
+    return Evaluation.shared()

@@ -1,0 +1,100 @@
+"""Unit tests for the Figure 4 annotation language."""
+
+import pytest
+
+from repro.core.annotations import (
+    AnnotationError,
+    GetterAnnotation,
+    ParserAnnotation,
+    StructAnnotation,
+    parse_annotations,
+)
+
+
+class TestStructAnnotations:
+    def test_direct_struct(self):
+        anns, loa = parse_annotations(
+            """
+            { @STRUCT = ConfigureNamesInt
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """
+        )
+        assert len(anns) == 1
+        ann = anns[0]
+        assert isinstance(ann, StructAnnotation)
+        assert ann.table == "ConfigureNamesInt"
+        assert ann.struct == "config_int"
+        assert ann.par_index == 1
+        assert ann.var_index == 2
+        assert ann.handler_arg is None
+        assert loa == 3
+
+    def test_function_struct(self):
+        anns, _ = parse_annotations(
+            """
+            { @STRUCT = core_cmds
+              @PAR = [command_rec, 1]
+              @VAR = ([command_rec, 2], $arg) }
+            """
+        )
+        ann = anns[0]
+        assert ann.handler_arg == "arg"
+        assert ann.var_index == 2
+
+
+class TestParserAnnotations:
+    def test_parser(self):
+        anns, loa = parse_annotations(
+            """
+            { @PARSER = loadServerConfig
+              @PAR = $key
+              @VAR = $value }
+            """
+        )
+        ann = anns[0]
+        assert isinstance(ann, ParserAnnotation)
+        assert ann.function == "loadServerConfig"
+        assert ann.par_var == "key"
+        assert ann.var_var == "value"
+        assert loa == 3
+
+    def test_parser_requires_dollar_vars(self):
+        with pytest.raises(AnnotationError):
+            parse_annotations("{ @PARSER = f\n @PAR = key\n @VAR = $v }")
+
+
+class TestGetterAnnotations:
+    def test_getter(self):
+        anns, loa = parse_annotations(
+            """
+            { @GETTER = get_i32
+              @PAR = 1
+              @VAR = $RET }
+            """
+        )
+        ann = anns[0]
+        assert isinstance(ann, GetterAnnotation)
+        assert ann.function == "get_i32"
+        assert ann.par_index == 1
+
+
+class TestMultipleBlocks:
+    def test_multiple_blocks_and_loa(self):
+        anns, loa = parse_annotations(
+            """
+            # PostgreSQL-style tables
+            { @STRUCT = ConfigureNamesInt
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            { @GETTER = get_str
+              @PAR = 1
+              @VAR = $RET }
+            """
+        )
+        assert len(anns) == 2
+        assert loa == 6
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(AnnotationError):
+            parse_annotations("{ @PAR = [s, 1]\n @VAR = [s, 2] }")

@@ -1,0 +1,386 @@
+"""Integration tests reproducing every Figure 3 inference example.
+
+Each test encodes one sub-figure of the paper's Figure 3 in MiniC and
+checks that SPEX infers the constraint the paper reports.
+"""
+
+from repro.core import SpexEngine
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+from repro.knowledge import SemanticType
+from repro.lang.program import Program
+
+
+def run_spex(source, annotations):
+    program = Program.from_sources({"system.c": source})
+    return SpexEngine(program, annotations).run()
+
+
+STRUCT_TABLE_PRELUDE = """
+struct config_str { char *name; char **var; };
+struct config_int { char *name; int *var; int def; };
+"""
+
+
+class TestFigure3aBasicType:
+    # Storage-A: "log.filesize" transformed from char* to 32-bit int.
+    def test_basic_type_from_first_cast(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            char *filesize_str;
+            int log_filesize;
+            struct config_str options[] = {
+                { "log.filesize", &filesize_str },
+            };
+            int parse_size() {
+                long v = strtoll(filesize_str, NULL, 10);
+                log_filesize = (int)v;
+                return log_filesize;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_str, 1]
+              @VAR = [config_str, 2] }
+            """,
+        )
+        basics = [
+            c
+            for c in report.constraints.basic_types()
+            if c.param == "log.filesize"
+        ]
+        assert basics
+        assert str(basics[0].type) == "int"  # 32-bit integer
+
+
+class TestFigure3bSemanticTypeFile:
+    # MySQL: ft_stopword_file passed through my_open to open().
+    def test_file_semantic_through_wrapper(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            char *ft_stopword_file;
+            struct config_str options[] = {
+                { "ft_stopword_file", &ft_stopword_file },
+            };
+            int my_open(char *FileName, int Flags) {
+                int fd = open(FileName, Flags);
+                return fd;
+            }
+            int ft_init_stopwords() {
+                int fd = my_open(ft_stopword_file, 0);
+                return fd;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_str, 1]
+              @VAR = [config_str, 2] }
+            """,
+        )
+        semantics = [
+            c
+            for c in report.constraints.semantic_types()
+            if c.param == "ft_stopword_file"
+        ]
+        assert any(c.semantic is SemanticType.FILE for c in semantics)
+
+
+class TestFigure3cSemanticTypePort:
+    # Squid: udp_port flows into SetPort -> htons.
+    def test_port_semantic_through_htons(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int udp_port;
+            struct config_int options[] = {
+                { "udp_port", &udp_port, 3130 },
+            };
+            int set_port(int prt) {
+                return htons(prt);
+            }
+            int icpOpenPorts() {
+                int port = udp_port;
+                return set_port(port);
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        semantics = [
+            c for c in report.constraints.semantic_types() if c.param == "udp_port"
+        ]
+        assert any(c.semantic is SemanticType.PORT for c in semantics)
+
+
+class TestFigure3dDataRange:
+    # OpenLDAP: index_intlen clamped into [4, 255].
+    def test_clamp_range_with_reset_behavior(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int index_intlen;
+            struct config_int options[] = {
+                { "index_intlen", &index_intlen, 4 },
+            };
+            int config_generic() {
+                if (index_intlen < 4) {
+                    index_intlen = 4;
+                } else if (index_intlen > 255) {
+                    index_intlen = 255;
+                }
+                return index_intlen;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        ranges = [
+            c
+            for c in report.constraints.ranges()
+            if isinstance(c, NumericRangeConstraint) and c.param == "index_intlen"
+        ]
+        assert ranges
+        constraint = ranges[0]
+        assert constraint.valid_lo == 4
+        assert constraint.valid_hi == 255
+        assert constraint.below_behavior == "reset"
+        assert constraint.above_behavior == "reset"
+
+
+class TestFigure3eControlDependency:
+    # PostgreSQL: commit_siblings takes effect only when fsync != 0.
+    def test_control_dependency_through_call_site(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int enableFsync;
+            int CommitSiblings;
+            struct config_int options[] = {
+                { "fsync", &enableFsync, 1 },
+                { "commit_siblings", &CommitSiblings, 5 },
+            };
+            int MinimumActiveBackends(int min) {
+                if (min > 0) { return 1; }
+                return 0;
+            }
+            int RecordTransactionCommit() {
+                if (enableFsync != 0) {
+                    return MinimumActiveBackends(CommitSiblings);
+                }
+                return 0;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        deps = [
+            c
+            for c in report.constraints.control_deps()
+            if c.param == "commit_siblings"
+        ]
+        assert deps
+        dep = deps[0]
+        assert dep.dep_param == "fsync"
+        assert dep.op == "!="
+        assert dep.value == 0
+        assert dep.confidence >= 0.75
+
+
+class TestFigure3fValueRelationship:
+    # MySQL: ft_max_word_len should be greater than ft_min_word_len.
+    def test_min_max_relation_through_intermediate(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int ft_min_word_len;
+            int ft_max_word_len;
+            struct config_int options[] = {
+                { "ft_min_word_len", &ft_min_word_len, 4 },
+                { "ft_max_word_len", &ft_max_word_len, 84 },
+            };
+            int ft_get_word(int length) {
+                if (length >= ft_min_word_len && length < ft_max_word_len) {
+                    return 1;
+                }
+                return 0;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        rels = report.constraints.value_rels()
+        assert rels
+        rel = rels[0].normalized()
+        assert {rel.param, rel.other_param} == {
+            "ft_min_word_len",
+            "ft_max_word_len",
+        }
+        # min < max (normalized orientation puts ft_max first
+        # alphabetically, so expect ft_max > ft_min).
+        assert (rel.param, rel.op, rel.other_param) == (
+            "ft_max_word_len",
+            ">",
+            "ft_min_word_len",
+        )
+
+
+class TestMayBeliefFiltering:
+    # VSFTP: listen_port used after checks of both listen and
+    # listen_ipv6; each candidate has confidence 0.5 -> filtered.
+    def test_alternative_guards_filtered_at_075(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int listen_ipv4;
+            int listen_ipv6;
+            int listen_port;
+            struct config_int options[] = {
+                { "listen", &listen_ipv4, 1 },
+                { "listen_ipv6", &listen_ipv6, 0 },
+                { "listen_port", &listen_port, 21 },
+            };
+            int start_v4() {
+                if (listen_ipv4 != 0) {
+                    return bind(socket(2, 1, 0), listen_port);
+                }
+                return 0;
+            }
+            int start_v6() {
+                if (listen_ipv6 != 0) {
+                    return bind(socket(10, 1, 0), listen_port);
+                }
+                return 0;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        deps = [
+            c for c in report.constraints.control_deps() if c.param == "listen_port"
+        ]
+        assert deps == []  # both candidates have confidence 0.5
+
+    def test_single_guard_passes_threshold(self):
+        report = run_spex(
+            STRUCT_TABLE_PRELUDE
+            + """
+            int use_tls;
+            int tls_port;
+            struct config_int options[] = {
+                { "ssl_enable", &use_tls, 0 },
+                { "ssl_port", &tls_port, 990 },
+            };
+            int start_tls() {
+                if (use_tls != 0) {
+                    return bind(socket(2, 1, 0), tls_port);
+                }
+                return 0;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_int, 1]
+              @VAR = [config_int, 2] }
+            """,
+        )
+        deps = [c for c in report.constraints.control_deps() if c.param == "ssl_port"]
+        assert deps
+        assert deps[0].dep_param == "ssl_enable"
+        assert deps[0].confidence == 1.0
+
+
+class TestEnumAndOverruling:
+    def test_boolean_ladder_with_silent_overrule(self):
+        # Squid Figure 6(c): anything not "on" silently becomes off.
+        report = run_spex(
+            """
+            struct config_bool { char *name; int *var; };
+            int cache_flag;
+            struct config_bool options[] = {
+                { "cache_enable", &cache_flag },
+            };
+            int parse_bool(char *token) {
+                if (strcasecmp(token, "on") == 0) {
+                    cache_flag = 1;
+                } else {
+                    cache_flag = 0;
+                }
+                return cache_flag;
+            }
+            int check() {
+                if (cache_flag != 0) { return 1; }
+                return 0;
+            }
+            """,
+            """
+            { @STRUCT = options
+              @PAR = [config_bool, 1]
+              @VAR = [config_bool, 2] }
+            """,
+        )
+        # The ladder is over the raw token, not the stored variable;
+        # the overrule shows up via the stored variable's reset in the
+        # else region. This test documents the token-side behaviour:
+        # the parse function's parameter is not a seed here, so the
+        # enum comes from systems where the annotated variable itself
+        # is compared. See test below for the param-seeded form.
+        assert report.constraints is not None
+
+    def test_enum_ladder_on_param_seed(self):
+        report = run_spex(
+            """
+            struct cmd { char *name; void *fn; };
+            int overwrite_mode;
+            int set_mode(char *arg) {
+                if (strcasecmp(arg, "always") == 0) {
+                    overwrite_mode = 2;
+                } else if (strcasecmp(arg, "never") == 0) {
+                    overwrite_mode = 0;
+                } else {
+                    overwrite_mode = 1;
+                }
+                return 0;
+            }
+            struct cmd commands[] = {
+                { "overwrite_mode", set_mode },
+            };
+            """,
+            """
+            { @STRUCT = commands
+              @PAR = [cmd, 1]
+              @VAR = ([cmd, 2], $arg) }
+            """,
+        )
+        enums = [
+            c
+            for c in report.constraints.ranges()
+            if isinstance(c, EnumRangeConstraint) and c.param == "overwrite_mode"
+        ]
+        assert enums
+        constraint = enums[0]
+        assert set(constraint.values) == {"always", "never"}
+        assert constraint.case_sensitive is False
+        assert constraint.silently_overruled  # the else silently resets

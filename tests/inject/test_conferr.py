@@ -1,0 +1,55 @@
+"""Unit tests for the ConfErr baseline injector (§6)."""
+
+from repro.inject.ar import ConfigAR, KeyValueDialect
+from repro.inject.conferr import (
+    ConfErrBaseline,
+    case_alternation,
+    omission,
+    substitution,
+    transposition,
+)
+
+
+class TestOperators:
+    def test_omission_drops_one_char(self):
+        [(param, value)] = omission("p", "hello")
+        assert param == "p"
+        assert len(value) == 4
+
+    def test_omission_skips_single_char(self):
+        assert omission("p", "x") == []
+
+    def test_substitution_changes_one_char(self):
+        [(_, value)] = substitution("p", "port")
+        assert value != "port"
+        assert len(value) == 4
+
+    def test_case_alternation_prefers_upper(self):
+        assert case_alternation("p", "on") == [("p", "ON")]
+        assert case_alternation("p", "ON") == [("p", "on")]
+        assert case_alternation("p", "123") == []
+
+    def test_transposition_swaps_prefix(self):
+        assert transposition("p", "ab") == [("p", "ba")]
+        assert transposition("p", "aa") == []
+
+
+class TestBaseline:
+    def test_generates_for_every_entry(self):
+        template = ConfigAR.parse("a=value\nb=2121\n", KeyValueDialect("="))
+        misconfs = ConfErrBaseline().generate(template)
+        params = {m.primary_param for m in misconfs}
+        assert params == {"a", "b"}
+        # Deterministic: same template, same output.
+        again = ConfErrBaseline().generate(template)
+        assert [m.settings for m in again] == [m.settings for m in misconfs]
+
+    def test_skips_empty_values(self):
+        template = ConfigAR.parse("a=\nb=x y\n", KeyValueDialect("="))
+        misconfs = ConfErrBaseline().generate(template)
+        assert all(m.primary_param == "b" for m in misconfs)
+
+    def test_rules_tagged_as_conferr(self):
+        template = ConfigAR.parse("a=value\n", KeyValueDialect("="))
+        for misconf in ConfErrBaseline().generate(template):
+            assert misconf.rule.startswith("conferr-")

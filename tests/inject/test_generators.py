@@ -1,0 +1,126 @@
+"""Unit tests for the Table 2 generation plug-ins."""
+
+from repro.core.constraints import (
+    BasicTypeConstraint,
+    ControlDepConstraint,
+    EnumRangeConstraint,
+    NumericRangeConstraint,
+    SemanticTypeConstraint,
+    ValueRelConstraint,
+)
+from repro.inject.ar import ConfigAR, KeyValueDialect
+from repro.inject.generators import default_generators
+from repro.knowledge import SemanticType
+from repro.lang import types as ct
+from repro.lang.source import Location
+
+LOC = Location("x.c", 1, 1)
+
+
+def generate(constraint, template_text="param=5\nother=10\ngate=on\n"):
+    template = ConfigAR.parse(template_text, KeyValueDialect("="))
+    return default_generators().generate([constraint], template)
+
+
+def values_for(misconfs, param):
+    return [dict(m.settings)[param] for m in misconfs if param in dict(m.settings)]
+
+
+class TestBasicTypePlugin:
+    def test_int_violations(self):
+        misconfs = generate(BasicTypeConstraint("param", LOC, ct.INT))
+        values = values_for(misconfs, "param")
+        assert "fast" in values  # garbage
+        assert any(int(v) > 2**32 for v in values if v.isdigit())  # overflow
+        assert "12.5" in values  # float
+        assert "9G" in values  # unit suffix
+        assert "100000" in values and "0" in values  # extremes
+
+    def test_string_params_skip_basic(self):
+        misconfs = generate(BasicTypeConstraint("param", LOC, ct.STRING))
+        assert values_for(misconfs, "param") == []
+
+
+class TestSemanticTypePlugin:
+    def test_file_violations(self):
+        misconfs = generate(
+            SemanticTypeConstraint("param", LOC, semantic=SemanticType.FILE)
+        )
+        values = values_for(misconfs, "param")
+        assert "/data/injected_dir" in values  # directory-for-file
+        assert "/no/such/file" in values
+
+    def test_port_violations(self):
+        misconfs = generate(
+            SemanticTypeConstraint("param", LOC, semantic=SemanticType.PORT)
+        )
+        values = values_for(misconfs, "param")
+        assert "3130" in values  # the occupied port
+        assert "70000" in values  # out of range
+
+    def test_user_violation(self):
+        misconfs = generate(
+            SemanticTypeConstraint("param", LOC, semantic=SemanticType.USER)
+        )
+        assert "no_such_user_xyz" in values_for(misconfs, "param")
+
+
+class TestRangePlugin:
+    def test_numeric_covers_both_sides(self):
+        misconfs = generate(
+            NumericRangeConstraint("param", LOC, valid_lo=4, valid_hi=255)
+        )
+        values = values_for(misconfs, "param")
+        assert "3" in values  # just below
+        assert "256" in values  # just above
+
+    def test_enum_outside_and_case(self):
+        misconfs = generate(
+            EnumRangeConstraint(
+                "param", LOC, values=("on", "off"), case_sensitive=True
+            )
+        )
+        values = values_for(misconfs, "param")
+        assert "unsupported_choice" in values
+        assert "ON" in values  # case alternation of a valid value
+
+
+class TestControlDepPlugin:
+    def test_generates_gate_and_param(self):
+        misconfs = generate(
+            ControlDepConstraint(
+                "param", LOC, dep_param="gate", op="!=", value=0
+            )
+        )
+        assert len(misconfs) == 1
+        settings = dict(misconfs[0].settings)
+        assert settings["gate"] == "off"  # spelled like the template
+        assert settings["param"] != "5"  # explicitly non-default
+        # Q first: the vulnerability belongs to the ignored parameter.
+        assert misconfs[0].primary_param == "param"
+
+
+class TestValueRelPlugin:
+    def test_violates_less_than(self):
+        misconfs = generate(
+            ValueRelConstraint("param", LOC, op="<", other_param="other")
+        )
+        settings = dict(misconfs[0].settings)
+        assert int(settings["param"]) > int(settings["other"])
+
+    def test_violates_greater_equal(self):
+        misconfs = generate(
+            ValueRelConstraint("param", LOC, op=">=", other_param="other")
+        )
+        settings = dict(misconfs[0].settings)
+        assert int(settings["param"]) < int(settings["other"])
+
+
+class TestRegistryDedup:
+    def test_duplicate_settings_deduped(self):
+        constraint = NumericRangeConstraint("param", LOC, valid_lo=4, valid_hi=255)
+        template = ConfigAR.parse("param=5\n", KeyValueDialect("="))
+        registry = default_generators()
+        misconfs = registry.generate([constraint, constraint], template)
+        keys = [(m.settings, m.rule) for m in misconfs]
+        assert len(keys) == len(set(keys))

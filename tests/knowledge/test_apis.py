@@ -1,0 +1,74 @@
+"""Unit tests for the API knowledge base and unit model."""
+
+import pytest
+
+from repro.knowledge import ApiSpec, ArgFact, SemanticType, Unit, default_knowledge
+from repro.knowledge.semantic import scale_between
+
+
+class TestDefaultKnowledge:
+    def test_file_apis(self):
+        kb = default_knowledge()
+        assert kb.get("open").arg_fact(0).semantic is SemanticType.FILE
+        assert kb.get("fopen").arg_fact(0).semantic is SemanticType.FILE
+
+    def test_port_apis(self):
+        kb = default_knowledge()
+        assert kb.get("bind").arg_fact(1).semantic is SemanticType.PORT
+        assert kb.get("htons").arg_fact(0).semantic is SemanticType.PORT
+
+    def test_time_units(self):
+        kb = default_knowledge()
+        assert kb.get("sleep").arg_fact(0).unit is Unit.SECONDS
+        assert kb.get("usleep").arg_fact(0).unit is Unit.MICROSECONDS
+
+    def test_comparison_sensitivity(self):
+        kb = default_knowledge()
+        assert kb.get("strcmp").case_sensitive is True
+        assert kb.get("strcasecmp").case_sensitive is False
+
+    def test_unsafe_vs_safe_transforms(self):
+        kb = default_knowledge()
+        unsafe = set(kb.unsafe_transforms())
+        assert {"atoi", "atol", "atof", "sscanf", "sprintf"} <= unsafe
+        assert "strtol" not in unsafe
+        assert kb.get("strtol").safe_transform
+
+    def test_exit_apis(self):
+        kb = default_knowledge()
+        assert kb.get("exit").exits_process
+        assert kb.get("abort").exits_process
+
+    def test_sscanf_out_args(self):
+        assert default_knowledge().get("sscanf").out_args_from == 2
+
+
+class TestExtension:
+    def test_extend_is_nonmutating(self):
+        base = default_knowledge()
+        extended = base.extend(
+            [ApiSpec("wafl_reserve", args=[ArgFact(0, SemanticType.SIZE, Unit.BYTES)])]
+        )
+        assert "wafl_reserve" in extended
+        assert base.get("wafl_reserve") is None
+
+    def test_extend_overrides(self):
+        base = default_knowledge()
+        extended = base.extend([ApiSpec("atoi", unsafe_transform=False)])
+        assert not extended.get("atoi").unsafe_transform
+        assert base.get("atoi").unsafe_transform
+
+
+class TestUnits:
+    def test_dimensions(self):
+        assert Unit.KILOBYTES.dimension == "size"
+        assert Unit.MILLISECONDS.dimension == "time"
+
+    def test_scale_between(self):
+        assert scale_between(Unit.KILOBYTES, Unit.BYTES) == 1024
+        assert scale_between(Unit.HOURS, Unit.SECONDS) == 3600
+        assert scale_between(Unit.MICROSECONDS, Unit.MILLISECONDS) == pytest.approx(1e-3)
+
+    def test_incompatible_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            scale_between(Unit.BYTES, Unit.SECONDS)

@@ -1,0 +1,135 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo while_ _bar")
+        assert toks[0].kind is TokenKind.KW_INT
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[1].text == "foo"
+        assert toks[2].kind is TokenKind.IDENT  # while_ is not a keyword
+        assert toks[3].kind is TokenKind.IDENT
+
+    def test_null_keyword_is_uppercase(self):
+        toks = tokenize("NULL null")
+        assert toks[0].kind is TokenKind.KW_NULL
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_decimal_integer(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.value == 12345
+
+    def test_hex_integer(self):
+        tok = tokenize("0xFF")[0]
+        assert tok.value == 255
+
+    def test_octal_integer(self):
+        tok = tokenize("0755")[0]
+        assert tok.value == 0o755
+
+    def test_integer_suffixes_ignored(self):
+        assert tokenize("10L")[0].value == 10
+        assert tokenize("10UL")[0].value == 10
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].value == ord("a")
+        assert tokenize("'\\n'")[0].value == ord("\n")
+        assert tokenize("'\\0'")[0].value == 0
+
+    def test_string_literal(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind is TokenKind.STRING_LIT
+        assert tok.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\tb\n"')[0].value == "a\tb\n"
+        assert tokenize(r'"\x41"')[0].value == "A"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestOperators:
+    def test_multi_char_operators_longest_match(self):
+        assert kinds("a <<= b") == [
+            TokenKind.IDENT,
+            TokenKind.SHL_ASSIGN,
+            TokenKind.IDENT,
+        ]
+        assert kinds("a << b") == [TokenKind.IDENT, TokenKind.SHL, TokenKind.IDENT]
+        assert kinds("a->b") == [TokenKind.IDENT, TokenKind.ARROW, TokenKind.IDENT]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= == !=") == [
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+            TokenKind.EQ,
+            TokenKind.NE,
+        ]
+
+    def test_increment_vs_plus(self):
+        assert kinds("a++ + ++b") == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.PLUS_PLUS,
+            TokenKind.IDENT,
+        ]
+
+
+class TestTrivia:
+    def test_line_comments_skipped(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comments_skipped(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds('#include "x.h"\nint a;') == [
+            TokenKind.KW_INT,
+            TokenKind.IDENT,
+            TokenKind.SEMI,
+        ]
+
+    def test_locations_track_lines_and_columns(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1
+        assert toks[0].location.column == 1
+        assert toks[1].location.line == 2
+        assert toks[1].location.column == 3

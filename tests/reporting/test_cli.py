@@ -1,0 +1,21 @@
+"""Tests for the CLI entry point."""
+
+from repro.reporting.cli import main
+
+
+class TestCli:
+    def test_single_section(self, capsys, evaluation):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1:" in out
+        assert "OpenLDAP" in out
+
+    def test_multiple_sections(self, capsys, evaluation):
+        assert main(["table2", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2:" in out and "Table 3:" in out
+
+    def test_unknown_section_errors(self, capsys, evaluation):
+        assert main(["table99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown section" in err

@@ -1,0 +1,309 @@
+"""Unit tests for the MiniC interpreter core semantics."""
+
+import pytest
+
+from repro.lang.program import Program
+from repro.runtime.interpreter import Interpreter, InterpreterOptions
+from repro.runtime.os_model import EmulatedOS
+from repro.runtime.process import ProcessStatus, run_program
+
+
+def run_main(source, argv=None, os_model=None, options=None):
+    program = Program.from_sources({"main.c": source})
+    return run_program(program, os_model, argv, options)
+
+
+def eval_expr(expr_text, prelude=""):
+    result = run_main(f"{prelude}\nint main() {{ return {expr_text}; }}")
+    assert result.status is ProcessStatus.EXITED
+    return result.exit_code
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        assert eval_expr("2 + 3 * 4") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert eval_expr("7 / 2") == 3
+        assert eval_expr("(0 - 7) / 2") == -3
+        assert eval_expr("7 % (0 - 2)") == 1
+
+    def test_division_by_zero_is_sigfpe_crash(self):
+        result = run_main("int main() { int z = 0; return 5 / z; }")
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGFPE"
+
+    def test_shift_and_bitops(self):
+        assert eval_expr("(1 << 4) | 3") == 19
+        assert eval_expr("0xFF & 0x0F") == 15
+
+    def test_logical_short_circuit(self):
+        # Calling an undefined function would be an InterpreterError;
+        # short-circuit must skip it.
+        src = """
+        int boom() { int z = 0; return 1 / z; }
+        int main() { return (0 && boom()) + (1 || boom()); }
+        """
+        assert run_main(src).exit_code == 1
+
+    def test_comparison_yields_int(self):
+        assert eval_expr("(3 < 5) + (5 <= 5) + (6 > 7)") == 2
+
+    def test_ternary(self):
+        assert eval_expr("1 ? 42 : 7") == 42
+
+
+class TestIntegerSemantics:
+    def test_int32_store_wraps(self):
+        # The Figure 5(a) basic-type overflow: 9e9 does not fit in 32 bits.
+        src = """
+        int stored;
+        int main() {
+            long big = 9000000000;
+            stored = big;
+            return stored == 9000000000;
+        }
+        """
+        result = run_main(src)
+        assert result.exit_code == 0  # it wrapped
+        assert result.interpreter.globals["stored"] == 9000000000 - 2 * (1 << 32)
+
+    def test_cast_truncates(self):
+        src = "int main() { long v = 0x1FFFFFFFF; return (int)v == 0xFFFFFFFF; }"
+        assert run_main(src).exit_code == 0
+
+    def test_unsigned_short_wrap_via_htons(self):
+        src = "int main() { return htons(70000); }"
+        assert run_main(src).exit_code == 70000 & 0xFFFF
+
+
+class TestControlFlow:
+    def test_if_else_ladder(self):
+        src = """
+        int classify(int v) {
+            if (v < 4) { return 1; }
+            else if (v > 255) { return 2; }
+            else { return 0; }
+        }
+        int main() { return classify(3) * 100 + classify(300) * 10 + classify(50); }
+        """
+        assert run_main(src).exit_code == 120
+
+    def test_while_loop(self):
+        src = "int main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s; }"
+        assert run_main(src).exit_code == 10
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 8) { break; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run_main(src).exit_code == 1 + 3 + 5 + 7
+
+    def test_do_while_runs_once(self):
+        src = "int main() { int n = 0; do { n++; } while (0); return n; }"
+        assert run_main(src).exit_code == 1
+
+    def test_switch_with_fallthrough_and_default(self):
+        src = """
+        int pick(int v) {
+            int r = 0;
+            switch (v) {
+                case 1: r += 1;
+                case 2: r += 2; break;
+                case 3: r += 3; break;
+                default: r = 99;
+            }
+            return r;
+        }
+        int main() { return pick(1) * 1000 + pick(3) * 100 + pick(7); }
+        """
+        assert run_main(src).exit_code == 3 * 1000 + 3 * 100 + 99
+
+    def test_infinite_loop_is_hang(self):
+        result = run_main(
+            "int main() { while (1) { } return 0; }",
+            options=InterpreterOptions(max_steps=10_000),
+        )
+        assert result.status is ProcessStatus.HUNG
+
+    def test_huge_sleep_is_hang(self):
+        result = run_main(
+            "int main() { sleep(100000); return 0; }",
+            options=InterpreterOptions(max_virtual_seconds=60),
+        )
+        assert result.status is ProcessStatus.HUNG
+
+
+class TestPointersAndStructs:
+    def test_address_of_and_deref(self):
+        src = """
+        int set(int *p, int v) { *p = v; return 0; }
+        int main() { int x = 1; set(&x, 42); return x; }
+        """
+        assert run_main(src).exit_code == 42
+
+    def test_struct_fields(self):
+        src = """
+        struct conf { int timeout; char *name; };
+        struct conf cfg;
+        int main() {
+            cfg.timeout = 30;
+            cfg.name = "server";
+            return cfg.timeout + strlen(cfg.name);
+        }
+        """
+        assert run_main(src).exit_code == 36
+
+    def test_struct_pointer_arrow(self):
+        src = """
+        struct conf { int limit; };
+        struct conf cfg;
+        int bump(struct conf *c) { c->limit += 5; return c->limit; }
+        int main() { cfg.limit = 10; return bump(&cfg); }
+        """
+        assert run_main(src).exit_code == 15
+
+    def test_null_deref_is_segfault(self):
+        result = run_main("int main() { int *p = NULL; return *p; }")
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGSEGV"
+        assert any("Segmentation fault" in r.text for r in result.logs)
+
+    def test_null_arrow_is_segfault(self):
+        src = """
+        struct conf { int x; };
+        int main() { struct conf *c = NULL; return c->x; }
+        """
+        result = run_main(src)
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGSEGV"
+
+    def test_array_out_of_bounds_is_segfault(self):
+        src = "int tbl[4]; int main() { return tbl[10]; }"
+        result = run_main(src)
+        assert result.status is ProcessStatus.CRASHED
+
+    def test_global_struct_array_initializer(self):
+        src = """
+        struct entry { char *name; int value; };
+        struct entry table[] = {
+            { "alpha", 1 },
+            { "beta", 2 },
+        };
+        int main() { return table[1].value; }
+        """
+        assert run_main(src).exit_code == 2
+
+    def test_mapping_table_with_addresses(self):
+        src = """
+        struct config_int { char *name; int *var; int def; };
+        int DeadlockTimeout;
+        struct config_int table[] = {
+            { "deadlock_timeout", &DeadlockTimeout, 1000 },
+        };
+        int main() {
+            *table[0].var = table[0].def;
+            return DeadlockTimeout == 1000;
+        }
+        """
+        assert run_main(src).exit_code == 1
+
+    def test_function_pointer_dispatch(self):
+        src = """
+        struct cmd { char *name; int handler; };
+        int set_root(int v) { return v * 2; }
+        int main() {
+            int f = 0;
+            struct cmd c;
+            c.handler = 0;
+            return dispatch();
+        }
+        int dispatch() { return 0; }
+        """
+        # Simpler direct check of indirect calls through a table:
+        src = """
+        struct cmd { char *name; int (handler); };
+        int double_it(int v) { return v * 2; }
+        int main() { return 0; }
+        """
+        # Real test: store FunctionRef in struct field typed as pointer.
+        src = """
+        struct cmd { char *name; void *handler; };
+        int double_it(int v) { return v * 2; }
+        struct cmd table[] = { { "double", double_it } };
+        int main() { return table[0].handler(21); }
+        """
+        assert run_main(src).exit_code == 42
+
+    def test_static_local_persists(self):
+        src = """
+        int counter() { static int n = 0; n++; return n; }
+        int main() { counter(); counter(); return counter(); }
+        """
+        assert run_main(src).exit_code == 3
+
+    def test_recursion_and_stack_overflow(self):
+        src = "int f(int n) { return f(n + 1); } int main() { return f(0); }"
+        result = run_main(src)
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGSEGV"
+
+    def test_string_indexing(self):
+        src = 'int main() { char *s = "abc"; return s[0] + s[3]; }'
+        assert run_main(src).exit_code == ord("a")  # s[3] is the NUL
+
+    def test_string_pointer_arithmetic(self):
+        src = 'int main() { char *s = "abc"; return strcmp(s + 1, "bc") == 0; }'
+        assert run_main(src).exit_code == 1
+
+
+class TestMainArguments:
+    def test_argv_passed(self):
+        src = """
+        int main(int argc, char **argv) {
+            if (argc < 2) { return 1; }
+            return strcmp(argv[1], "/etc/app.conf") == 0 ? 0 : 2;
+        }
+        """
+        result = run_main(src, argv=["app", "/etc/app.conf"])
+        assert result.exit_code == 0
+
+    def test_exit_builtin(self):
+        result = run_main("int main() { exit(7); return 0; }")
+        assert result.exit_code == 7
+
+    def test_abort_is_sigabrt(self):
+        result = run_main("int main() { abort(); return 0; }")
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGABRT"
+
+
+class TestEnumAndGlobals:
+    def test_enum_values(self):
+        src = """
+        enum level { LOW = 1, MID, HIGH = 10 };
+        int main() { return LOW + MID + HIGH; }
+        """
+        assert run_main(src).exit_code == 13
+
+    def test_global_zero_initialized(self):
+        src = "int uninit; int main() { return uninit; }"
+        assert run_main(src).exit_code == 0
+
+    def test_errno_global(self):
+        src = """
+        int main() {
+            int fd = open("/does/not/exist", 0);
+            if (fd < 0 && errno == 2) { return 0; }
+            return 1;
+        }
+        """
+        assert run_main(src).exit_code == 0

@@ -1,0 +1,33 @@
+"""Tests for the 18-project mapping-convention survey (Table 1)."""
+
+from repro.systems.corpus import classify, convention_counts, survey_entries, validate
+
+
+class TestSurvey:
+    def test_eighteen_projects(self):
+        assert len(survey_entries()) == 18
+
+    def test_paper_distribution(self):
+        # Table 1: 9 structure, 4 comparison, 4 container, 1 hybrid.
+        assert convention_counts() == {
+            "structure": 9,
+            "comparison": 4,
+            "container": 4,
+            "hybrid": 1,
+        }
+
+    def test_every_snippet_valid(self):
+        for entry in survey_entries():
+            assert validate(entry), entry.project
+
+    def test_classification_matches_expectation(self):
+        for entry in survey_entries():
+            assert classify(entry) == entry.expected_convention, entry.project
+
+    def test_openldap_is_the_hybrid(self):
+        hybrid = [e for e in survey_entries() if classify(e) == "hybrid"]
+        assert [e.project for e in hybrid] == ["OpenLDAP"]
+
+    def test_projects_unique(self):
+        names = [e.project for e in survey_entries()]
+        assert len(names) == len(set(names))

