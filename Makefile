@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check quickstart pipeline all
+
+all: test docs-check
+
+# Tier-1 verification: the full unit/integration/benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Benchmark suite only, with the regenerated tables printed.
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+# Fails if README code blocks drift from working imports.
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+# The batched multi-system campaign sweep (serial by default;
+# EXECUTOR=thread|process to fan out).
+EXECUTOR ?= serial
+pipeline:
+	$(PYTHON) -m repro.reporting.cli pipeline --executor $(EXECUTOR)

@@ -9,7 +9,9 @@ parameter's slice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.analysis import AnalysisResult, TaintEngine, TaintOptions
 from repro.core.annotations import Annotation, parse_annotations
@@ -41,6 +43,19 @@ class SpexOptions:
     enable_ranges: bool = True
     enable_control_deps: bool = True
     enable_value_rels: bool = True
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every inference knob.
+
+        Two option sets with the same fingerprint produce the same
+        constraints for the same program, so the fingerprint is the
+        options component of the pipeline's inference-cache key
+        (`repro.pipeline.cache`).  `asdict` recurses into nested
+        option dataclasses (e.g. `TaintOptions`), so new knobs
+        automatically invalidate old cache entries.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -79,6 +94,22 @@ class SpexReport:
             elif isinstance(c, ValueRelConstraint):
                 counts["value_rel"] += 1
         return counts
+
+    def summary_dict(self) -> dict:
+        """Cache-friendly serialization: the JSON-able subset of the
+        report (no IR module, no analysis state).
+
+        This is what multi-system aggregate reports and on-disk cache
+        manifests persist; the heavyweight members stay in-process.
+        """
+        return {
+            "system": self.system,
+            "lines_of_annotation": self.lines_of_annotation,
+            "parameters": sorted(self.parameters),
+            "case_sensitivity": dict(sorted(self.case_sensitivity.items())),
+            "constraint_counts": self.constraint_counts(),
+            "constraints": sorted(c.describe() for c in self.constraints),
+        }
 
 
 class SpexEngine:

@@ -1,5 +1,11 @@
 """Full injection campaign over one system: SPEX constraints in,
 vulnerability report out (the per-system row of Table 5).
+
+`Campaign` is the single-system primitive; multi-system sweeps go
+through `repro.pipeline.CampaignPipeline`, which fans campaigns out
+across executors and shares the inference cache between them.  A
+`Campaign` constructed with an `inference_cache` participates in that
+sharing; without one it re-infers on every `run_spex()` call.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from repro.core import SpexEngine, SpexOptions, SpexReport
 from repro.inject.generators import (
     GeneratorRegistry,
     Misconfiguration,
+    batch_by_param,
     default_generators,
 )
 from repro.inject.harness import InjectionHarness, InjectionVerdict
@@ -19,7 +26,8 @@ from repro.knowledge import default_knowledge
 from repro.lang.source import Location
 from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:  # avoid the inject <-> systems import cycle
+if TYPE_CHECKING:  # avoid the inject <-> systems/pipeline import cycles
+    from repro.pipeline.cache import InferenceCache
     from repro.systems.base import SubjectSystem
 
 
@@ -68,8 +76,17 @@ class Campaign:
     system: "SubjectSystem"
     generators: GeneratorRegistry = field(default_factory=default_generators)
     spex_options: SpexOptions = field(default_factory=SpexOptions)
+    # Shared by the pipeline so ablation sweeps and re-runs skip
+    # re-inference; None means infer fresh each time.
+    inference_cache: "InferenceCache | None" = None
 
     def run_spex(self) -> SpexReport:
+        if self.inference_cache is None:
+            return self._infer()
+        key = self.inference_cache.key_for(self.system, self.spex_options)
+        return self.inference_cache.get_or_compute(key, self._infer)
+
+    def _infer(self) -> SpexReport:
         knowledge = default_knowledge()
         if self.system.custom_knowledge:
             knowledge = knowledge.extend(self.system.custom_knowledge)
@@ -81,35 +98,40 @@ class Campaign:
         )
         return engine.run()
 
+    def generate(self, spex_report: SpexReport):
+        """All misconfigurations of this campaign, batched per
+        parameter (Table 2 rules plus guided case alteration)."""
+        template = self.system.template_ar()
+        misconfs = self.generators.generate(spex_report.constraints, template)
+        misconfs += self._case_alterations(spex_report, template)
+        return batch_by_param(misconfs), template
+
     def run(self, spex_report: SpexReport | None = None) -> CampaignReport:
         report = CampaignReport(system=self.system.name)
         report.spex_report = spex_report or self.run_spex()
-        template = self.system.template_ar()
-        misconfs = self.generators.generate(
-            report.spex_report.constraints, template
-        )
-        misconfs += self._case_alterations(report.spex_report, template)
+        batches, template = self.generate(report.spex_report)
         harness = InjectionHarness(self.system)
-        report.misconfigurations_tested = len(misconfs)
+        report.misconfigurations_tested = sum(len(b) for b in batches)
         # One vulnerability per (parameter, reaction, rule): several
         # erroneous values of the same flavour expose the same hole.
         seen: set[tuple] = set()
-        for misconf in misconfs:
-            verdict = harness.test_misconfiguration(misconf)
-            report.verdicts.append(verdict)
-            if not verdict.is_vulnerability:
-                continue
-            key = (
-                misconf.primary_param,
-                verdict.reaction.category,
-                misconf.rule,
-            )
-            if key in seen:
-                continue
-            seen.add(key)
-            report.vulnerabilities.append(
-                self._vulnerability_from(misconf, verdict)
-            )
+        for batch in batches:
+            verdicts = harness.test_batch(batch, template)
+            for misconf, verdict in zip(batch, verdicts):
+                report.verdicts.append(verdict)
+                if not verdict.is_vulnerability:
+                    continue
+                key = (
+                    misconf.primary_param,
+                    verdict.reaction.category,
+                    misconf.rule,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                report.vulnerabilities.append(
+                    self._vulnerability_from(misconf, verdict)
+                )
         return report
 
     def _case_alterations(self, spex_report: SpexReport, template):

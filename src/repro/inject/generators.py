@@ -13,6 +13,25 @@ Range          values exactly covering out of (and just inside) the
 Control dep.   (P ⋄ V) ∧ Q for (P, V, ⋄) -> Q
 Value relat.   settings violating the relationship
 =============  =====================================================
+
+Usage - generate misconfigurations for one system and group them into
+per-parameter batches for the harness::
+
+    from repro.inject.generators import default_generators
+    from repro.systems import get_system
+
+    system = get_system("apache")
+    constraints = ...  # a SpexReport's ConstraintSet
+    registry = default_generators()
+    flat = registry.generate(constraints, system.template_ar())
+    batches = registry.generate_batches(constraints, system.template_ar())
+    # every batch covers exactly one primary parameter:
+    assert all(m.primary_param == b.param for b in batches for m in b)
+
+Custom rules subclass :class:`GeneratorPlugin`, implement
+``applies_to`` and ``generate``, and are added to the registry with
+``registry.add(MyPlugin())`` - "every generation rule is implemented
+as a plug-in, which can be extended for customization".
 """
 
 from __future__ import annotations
@@ -48,6 +67,45 @@ class Misconfiguration:
 
     def params(self) -> list[str]:
         return [name for name, _ in self.settings]
+
+
+@dataclass(frozen=True)
+class MisconfigurationBatch:
+    """All misconfigurations targeting one primary parameter.
+
+    The harness evaluates a batch as a unit (one template parse, one
+    verdict list), and the pipeline schedules whole batches, so
+    per-injection overhead is paid once per parameter instead of once
+    per value.
+    """
+
+    param: str
+    misconfigurations: tuple[Misconfiguration, ...]
+
+    def __len__(self) -> int:
+        return len(self.misconfigurations)
+
+    def __iter__(self):
+        return iter(self.misconfigurations)
+
+
+def batch_by_param(
+    misconfs: list[Misconfiguration],
+) -> list[MisconfigurationBatch]:
+    """Group misconfigurations by primary parameter.
+
+    Grouping is stable: batches appear in first-seen parameter order
+    and each batch preserves the input order of its members, so a
+    batched campaign tests the same injections as the flat loop and
+    reports them parameter-by-parameter.
+    """
+    grouped: dict[str, list[Misconfiguration]] = {}
+    for misconf in misconfs:
+        grouped.setdefault(misconf.primary_param, []).append(misconf)
+    return [
+        MisconfigurationBatch(param, tuple(members))
+        for param, members in grouped.items()
+    ]
 
 
 class GeneratorPlugin:
@@ -505,6 +563,27 @@ class GeneratorRegistry:
                     seen.add(key)
                     out.append(misconf)
         return out
+
+    def generate_batches(
+        self, constraints, template: ConfigAR
+    ) -> list[MisconfigurationBatch]:
+        """Generate and group by primary parameter in one step."""
+        return batch_by_param(self.generate(constraints, template))
+
+    def rule_names(self) -> list[str]:
+        """The installed rule names, in plug-in order."""
+        return [plugin.rule_name for plugin in self.plugins]
+
+    def roster(self) -> list[str]:
+        """Qualified plug-in identities (rule name plus implementing
+        class).  This is the registry's fingerprint component: two
+        plug-ins sharing a rule name but behaving differently (e.g. a
+        subclass) must not reuse each other's cached campaigns."""
+        return [
+            f"{plugin.rule_name}="
+            f"{type(plugin).__module__}.{type(plugin).__qualname__}"
+            for plugin in self.plugins
+        ]
 
 
 def default_generators() -> GeneratorRegistry:

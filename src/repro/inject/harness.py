@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.constraints import ControlDepConstraint
-from repro.inject.generators import Misconfiguration
+from repro.inject.ar import ConfigAR
+from repro.inject.generators import Misconfiguration, MisconfigurationBatch
 from repro.inject.reactions import Reaction, ReactionCategory
 from repro.runtime.interpreter import InterpreterOptions
 from repro.runtime.process import ProcessResult, ProcessStatus, run_program
@@ -79,7 +80,31 @@ class InjectionHarness:
     # -- one misconfiguration ------------------------------------------------
 
     def test_misconfiguration(self, misconf: Misconfiguration) -> InjectionVerdict:
-        ar = self.system.template_ar().clone()
+        return self._test_one(misconf, self.system.template_ar())
+
+    # -- one batch (all injections of one parameter) -------------------------
+
+    def test_batch(
+        self,
+        batch: MisconfigurationBatch | list[Misconfiguration],
+        template: ConfigAR | None = None,
+    ) -> list[InjectionVerdict]:
+        """Evaluate a group of injections against one parsed template.
+
+        The template AR is parsed once (or supplied by the caller, who
+        may share it across every batch of a campaign) and cloned per
+        injection, instead of re-parsing the config file for each
+        misconfiguration as the one-at-a-time loop did.  Verdicts come
+        back in batch order.
+        """
+        if template is None:
+            template = self.system.template_ar()
+        return [self._test_one(misconf, template) for misconf in batch]
+
+    def _test_one(
+        self, misconf: Misconfiguration, template: ConfigAR
+    ) -> InjectionVerdict:
+        ar = template.clone()
         for name, value in misconf.settings:
             ar.set(name, value)
         config_text = ar.serialize()

@@ -1,0 +1,56 @@
+"""Parallel batched campaign pipeline with inference caching.
+
+The paper's evaluation (Table 5) sweeps injection campaigns over
+seven subject systems; this package turns that sweep into a
+first-class workload: campaigns fan out across a pluggable executor,
+SPEX inference results are cached by content hash so re-runs and
+ablation sweeps skip re-inference, and whole campaign reports are
+reused when nothing they depend on changed.
+
+Layering: `repro.pipeline` sits above `repro.inject` (the single-
+system primitive) and `repro.systems` (the registry), and below
+`repro.reporting` (which renders the aggregate report and exposes the
+`pipeline` CLI command).
+"""
+
+from repro.pipeline.cache import (
+    CacheStats,
+    ContentCache,
+    InferenceCache,
+    PipelineCaches,
+    campaign_fingerprint,
+    spex_fingerprint,
+)
+from repro.pipeline.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_names,
+    resolve_executor,
+)
+from repro.pipeline.runner import (
+    CampaignPipeline,
+    PipelineReport,
+    SystemRun,
+    run_pipeline,
+)
+
+__all__ = [
+    "CacheStats",
+    "CampaignPipeline",
+    "ContentCache",
+    "Executor",
+    "InferenceCache",
+    "PipelineCaches",
+    "PipelineReport",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SystemRun",
+    "ThreadExecutor",
+    "campaign_fingerprint",
+    "executor_names",
+    "resolve_executor",
+    "run_pipeline",
+    "spex_fingerprint",
+]

@@ -1,0 +1,170 @@
+"""Content-addressed caches for the campaign pipeline.
+
+Inference dominates nothing (campaigns do), but it is the part that is
+*pure*: the same (program sources, annotations, options) triple always
+produces the same `SpexReport`.  The pipeline therefore keys inference
+results by a content hash of exactly that triple, so repeated
+campaigns, ablation sweeps and multi-executor parity runs skip
+re-inference entirely.  A second, optional layer caches whole
+`CampaignReport`s keyed by the inference fingerprint plus the
+generator-rule set, which makes a warm pipeline re-run almost free.
+
+Keys are SHA-256 hex digests; a changed source file, annotation block
+or `SpexOptions` knob yields a new key, so stale entries are never
+served (they are merely unreferenced).
+
+Usage::
+
+    cache = InferenceCache()
+    key = spex_fingerprint(system.sources, system.annotations, options)
+    report = cache.get_or_compute(key, lambda: engine.run())
+    cache.stats.hits, cache.stats.misses
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.core.engine import SpexOptions, SpexReport
+
+T = TypeVar("T")
+
+
+def spex_fingerprint(
+    sources: dict[str, str],
+    annotations: str,
+    options: SpexOptions | None = None,
+) -> str:
+    """Content hash of one inference job.
+
+    The key covers everything `SpexEngine` reads: every source file
+    (name and text, order-independent), the mapping annotations, and
+    the full option set via `SpexOptions.fingerprint()`.
+    """
+    digest = hashlib.sha256()
+    for filename in sorted(sources):
+        digest.update(filename.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(sources[filename].encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(annotations.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update((options or SpexOptions()).fingerprint().encode("utf-8"))
+    return digest.hexdigest()
+
+
+def campaign_fingerprint(spex_key: str, roster: list[str]) -> str:
+    """Key of one full campaign: the inference key plus the qualified
+    generation-rule roster (`GeneratorRegistry.roster()`).  A changed
+    plug-in set - including a same-named plug-in with a different
+    implementing class - must invalidate cached campaign results even
+    when inference is unchanged."""
+    digest = hashlib.sha256()
+    digest.update(spex_key.encode("utf-8"))
+    for rule in sorted(roster):
+        digest.update(b"\x00")
+        digest.update(rule.encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class ContentCache(Generic[T]):
+    """A thread-safe content-addressed store with hit/miss counters.
+
+    Values are immutable-by-convention: callers must not mutate a
+    cached object after `put`, because later `get`s return the same
+    instance (executor-parity tests rely on this determinism).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, T] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> T | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: T) -> T:
+        with self._lock:
+            self._entries[key] = value
+            return value
+
+    def get_or_compute(self, key: str, factory: Callable[[], T]) -> T:
+        """Return the cached value, computing and storing it on miss.
+
+        The factory runs outside the lock: inference takes orders of
+        magnitude longer than a dict probe, and two threads racing on
+        the same key at worst duplicate one pure computation.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = factory()
+        with self._lock:
+            return self._entries.setdefault(key, value)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            if existed:
+                self.stats.invalidations += 1
+            return existed
+
+    def clear(self) -> None:
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+
+class InferenceCache(ContentCache[SpexReport]):
+    """`SpexReport`s keyed by `spex_fingerprint`."""
+
+    def key_for(self, system, options: SpexOptions | None = None) -> str:
+        """Key of one subject system's inference job (duck-typed: any
+        object with `.sources` and `.annotations` works)."""
+        return spex_fingerprint(system.sources, system.annotations, options)
+
+
+@dataclass
+class PipelineCaches:
+    """The cache pair one pipeline (or several, sharing) uses."""
+
+    inference: InferenceCache = field(default_factory=InferenceCache)
+    campaigns: ContentCache = field(default_factory=ContentCache)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "inference": self.inference.stats.snapshot(),
+            "campaigns": self.campaigns.stats.snapshot(),
+        }

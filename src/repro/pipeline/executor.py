@@ -1,0 +1,124 @@
+"""Pluggable executors: how the pipeline fans campaign tasks out.
+
+Three strategies cover the deployment spectrum:
+
+* `SerialExecutor` - one task at a time, in submission order.  The
+  reference semantics every other executor must match (the parity
+  tests compare their `Vulnerability` sets against it).
+* `ThreadExecutor` - a thread pool.  Campaign work is pure Python, so
+  threads mostly help when system emulation waits on the (emulated)
+  OS; it is also the cheapest way to exercise the cache's thread
+  safety.
+* `ProcessExecutor` - a process pool (`fork` where available).  Real
+  multi-core speedup; tasks and results cross a pickle boundary, so
+  process tasks are dispatched by system *name* and rebuilt in the
+  worker rather than shipped as closures.
+
+All executors preserve input order in their results, so downstream
+aggregation never depends on scheduling.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _default_workers() -> int:
+    return max(2, min(8, (os.cpu_count() or 2)))
+
+
+class Executor:
+    """Strategy interface: apply `fn` to each item, results in order."""
+
+    name = "base"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+class SerialExecutor(Executor):
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or _default_workers()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def _freeze_inherited_heap() -> None:
+    """Worker initializer: move every object inherited from the parent
+    (programs, caches, prior results) into the permanent generation.
+    Without this, each GC collection in a worker walks the parent's
+    whole heap, which can make forked campaigns slower than serial."""
+    gc.freeze()
+
+
+class ProcessExecutor(Executor):
+    """Process-pool fan-out.  `fn` and every item/result must pickle;
+    the pipeline honours this by sending system names, not systems."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # Campaign work is CPU-bound: more workers than cores only adds
+        # scheduling and fork overhead (unlike the thread pool, where
+        # oversubscription is harmless).
+        self.max_workers = max_workers or max(1, os.cpu_count() or 1)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.max_workers, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_freeze_inherited_heap
+        ) as pool:
+            return list(pool.map(fn, items))
+
+
+_EXECUTORS: dict[str, Callable[[int | None], Executor]] = {
+    "serial": lambda workers: SerialExecutor(),
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def executor_names() -> Sequence[str]:
+    return tuple(_EXECUTORS)
+
+
+def resolve_executor(
+    spec: str | Executor, max_workers: int | None = None
+) -> Executor:
+    """Accept either an `Executor` instance or one of the registered
+    names ("serial", "thread", "process")."""
+    if isinstance(spec, Executor):
+        return spec
+    try:
+        factory = _EXECUTORS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {spec!r}; choose from {', '.join(_EXECUTORS)}"
+        ) from None
+    return factory(max_workers)

@@ -1,0 +1,277 @@
+"""The campaign pipeline: batched multi-system sweeps with caching.
+
+`CampaignPipeline` is the throughput layer over the per-system
+`repro.inject.Campaign` primitive.  One pipeline run:
+
+1. enumerates target systems through the registry's bulk API;
+2. serves whole campaigns from the campaign cache when the content
+   fingerprint (sources + annotations + options + generation rules)
+   is unchanged;
+3. fans the remaining campaigns out over a pluggable executor
+   (serial / thread / process);
+4. shares one `InferenceCache` so ablation sweeps over harness or
+   generator settings never re-run SPEX inference for an unchanged
+   program.
+
+Usage::
+
+    from repro.pipeline import CampaignPipeline
+
+    pipeline = CampaignPipeline(executor="process")
+    report = pipeline.run()              # cold: infer + inject everything
+    again = pipeline.run()               # warm: served from the caches
+    report.total_vulnerabilities()
+    report.vulnerability_sets()          # identical across executors
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import SpexOptions
+from repro.inject.campaign import Campaign, CampaignReport, Vulnerability
+from repro.inject.generators import GeneratorRegistry, default_generators
+from repro.inject.reactions import ReactionCategory
+from repro.pipeline.cache import PipelineCaches, campaign_fingerprint
+from repro.pipeline.executor import (
+    Executor,
+    ProcessExecutor,
+    resolve_executor,
+)
+from repro.systems.registry import get_system, iter_systems, system_names
+
+
+@dataclass
+class SystemRun:
+    """One system's slot in a pipeline run."""
+
+    name: str
+    report: CampaignReport
+    duration: float  # seconds spent producing the report; 0 if cached
+    from_cache: bool = False
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate outcome of one pipeline run."""
+
+    runs: list[SystemRun]
+    executor: str
+    wall_time: float
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def report_for(self, name: str) -> CampaignReport:
+        for run in self.runs:
+            if run.name == name:
+                return run.report
+        raise KeyError(name)
+
+    def total_misconfigurations(self) -> int:
+        return sum(r.report.misconfigurations_tested for r in self.runs)
+
+    def total_vulnerabilities(self) -> int:
+        return sum(r.report.total() for r in self.runs)
+
+    def counts_by_category(self) -> dict[ReactionCategory, int]:
+        counts: dict[ReactionCategory, int] = {}
+        for run in self.runs:
+            for category, n in run.report.counts_by_category().items():
+                counts[category] = counts.get(category, 0) + n
+        return counts
+
+    def vulnerability_sets(self) -> dict[str, frozenset[Vulnerability]]:
+        """Per-system vulnerability sets - executor parity's currency:
+        every executor must produce exactly these sets."""
+        return {
+            run.name: frozenset(run.report.vulnerabilities)
+            for run in self.runs
+        }
+
+    def cached_count(self) -> int:
+        return sum(1 for run in self.runs if run.from_cache)
+
+    def summary_dict(self) -> dict:
+        """JSON-able aggregate (for manifests and the CLI footer)."""
+        return {
+            "executor": self.executor,
+            "wall_time": self.wall_time,
+            "systems": [
+                {
+                    "name": run.name,
+                    "misconfigurations_tested": (
+                        run.report.misconfigurations_tested
+                    ),
+                    "vulnerabilities": run.report.total(),
+                    "duration": run.duration,
+                    "from_cache": run.from_cache,
+                }
+                for run in self.runs
+            ],
+            "cache_stats": self.cache_stats,
+        }
+
+
+def _run_campaign_by_name(task: tuple[str, SpexOptions]):
+    """Process-pool entry point: rebuild the system in the worker (the
+    task crosses a pickle boundary, the `SubjectSystem` does not)."""
+    name, spex_options = task
+    started = time.perf_counter()
+    campaign = Campaign(get_system(name), spex_options=spex_options)
+    report = campaign.run()
+    _slim_for_transport(report)
+    return name, report, time.perf_counter() - started
+
+
+def _slim_for_transport(report: CampaignReport) -> None:
+    """Drop per-verdict interpreter snapshots before the report crosses
+    the process boundary: they exist for in-campaign silent-violation
+    checks, quadruple the pickle size, and no aggregate consumer reads
+    them."""
+    for verdict in report.verdicts:
+        if verdict.startup_result is not None:
+            verdict.startup_result.interpreter = None
+
+
+@dataclass
+class CampaignPipeline:
+    """Fan injection campaigns out across systems, with caching.
+
+    `systems` limits the sweep (None = every registered system);
+    `executor` is a name ("serial", "thread", "process") or an
+    `Executor` instance; `caches` may be shared between pipelines so
+    e.g. a parity re-run under a different executor still reuses
+    inference results.  `reuse_campaigns=False` disables the
+    whole-campaign cache (inference stays cached) - ablation sweeps
+    that vary harness behaviour want exactly that.
+    """
+
+    systems: list[str] | None = None
+    spex_options: SpexOptions = field(default_factory=SpexOptions)
+    generators: GeneratorRegistry = field(default_factory=default_generators)
+    executor: str | Executor = "serial"
+    max_workers: int | None = None
+    caches: PipelineCaches = field(default_factory=PipelineCaches)
+    reuse_campaigns: bool = True
+
+    def run(
+        self,
+        names: list[str] | None = None,
+        executor: str | Executor | None = None,
+    ) -> PipelineReport:
+        """Run the sweep; `names`/`executor` override the configured
+        targets/strategy for this call only."""
+        chosen = resolve_executor(
+            self.executor if executor is None else executor, self.max_workers
+        )
+        targets = names if names is not None else self.systems
+        systems = list(iter_systems(targets))
+        started = time.perf_counter()
+
+        runs: dict[str, SystemRun] = {}
+        # (system name, spex key, campaign key) for cache misses.
+        pending: list[tuple[str, str, str]] = []
+        for system in systems:
+            spex_key = self.caches.inference.key_for(
+                system, self.spex_options
+            )
+            campaign_key = campaign_fingerprint(
+                spex_key, self.generators.roster()
+            )
+            cached = (
+                self.caches.campaigns.get(campaign_key)
+                if self.reuse_campaigns
+                else None
+            )
+            if cached is not None:
+                runs[system.name] = SystemRun(
+                    system.name, cached, 0.0, from_cache=True
+                )
+            else:
+                pending.append((system.name, spex_key, campaign_key))
+
+        if pending:
+            for (name, spex_key, campaign_key), (report, duration) in zip(
+                pending, self._execute(chosen, pending)
+            ):
+                if self.reuse_campaigns:
+                    self.caches.campaigns.put(campaign_key, report)
+                self._warm_inference_cache(spex_key, report)
+                runs[name] = SystemRun(name, report, duration)
+
+        ordered = [runs[system.name] for system in systems]
+        return PipelineReport(
+            runs=ordered,
+            executor=chosen.name,
+            wall_time=time.perf_counter() - started,
+            cache_stats=self.caches.stats(),
+        )
+
+    # -- execution strategies ------------------------------------------------
+
+    def _execute(
+        self, executor: Executor, pending: list[tuple[str, str, str]]
+    ) -> list[tuple[CampaignReport, float]]:
+        names = [name for name, _, _ in pending]
+        if isinstance(executor, ProcessExecutor):
+            self._check_process_compatible()
+            tasks = [(name, self.spex_options) for name in names]
+            return [
+                (report, duration)
+                for _, report, duration in executor.map(
+                    _run_campaign_by_name, tasks
+                )
+            ]
+        return executor.map(self._run_one, names)
+
+    def _run_one(self, name: str) -> tuple[CampaignReport, float]:
+        """In-process task (serial and thread executors): campaigns
+        share the pipeline's inference cache directly."""
+        started = time.perf_counter()
+        campaign = Campaign(
+            get_system(name),
+            generators=self.generators,
+            spex_options=self.spex_options,
+            inference_cache=self.caches.inference,
+        )
+        report = campaign.run()
+        return report, time.perf_counter() - started
+
+    def _warm_inference_cache(
+        self, spex_key: str, report: CampaignReport
+    ) -> None:
+        """Keep the parent-side inference cache warm even for results
+        computed in worker processes, so a later in-process run (any
+        executor) skips inference."""
+        if report.spex_report is None:
+            return
+        if spex_key not in self.caches.inference:
+            self.caches.inference.put(spex_key, report.spex_report)
+
+    def _check_process_compatible(self) -> None:
+        if self.generators.roster() != default_generators().roster():
+            raise ValueError(
+                "the process executor rebuilds campaigns in worker "
+                "processes and cannot ship a customised generator "
+                "registry; use the serial or thread executor"
+            )
+
+
+def run_pipeline(
+    systems: list[str] | None = None,
+    executor: str | Executor = "serial",
+    **kwargs,
+) -> PipelineReport:
+    """One-shot convenience over `CampaignPipeline`."""
+    return CampaignPipeline(
+        systems=systems, executor=executor, **kwargs
+    ).run()
+
+
+__all__ = [
+    "CampaignPipeline",
+    "PipelineReport",
+    "SystemRun",
+    "run_pipeline",
+    "system_names",
+]

@@ -1,6 +1,13 @@
-"""Evaluation driver: regenerates every table and figure of §4."""
+"""Evaluation driver: regenerates every table and figure of §4, plus
+the aggregate view of batched multi-system pipeline runs."""
 
+from repro.reporting.aggregate import render_pipeline_report
 from repro.reporting.evalrun import Evaluation, SystemResult
 from repro.reporting.tables import render_table
 
-__all__ = ["Evaluation", "SystemResult", "render_table"]
+__all__ = [
+    "Evaluation",
+    "SystemResult",
+    "render_pipeline_report",
+    "render_table",
+]

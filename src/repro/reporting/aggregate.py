@@ -1,0 +1,69 @@
+"""Aggregate multi-system pipeline report rendering.
+
+Renders one `repro.pipeline.PipelineReport` as a Table 5-style
+cross-system summary plus an execution footer (executor, wall time,
+cache behaviour) - the operator's view of a batched sweep.
+"""
+
+from __future__ import annotations
+
+from repro.inject.reactions import ReactionCategory
+from repro.pipeline.runner import PipelineReport
+from repro.reporting.tables import render_table
+
+_CATEGORIES = [
+    ReactionCategory.CRASH_HANG,
+    ReactionCategory.EARLY_TERMINATION,
+    ReactionCategory.FUNCTIONAL_FAILURE,
+    ReactionCategory.SILENT_VIOLATION,
+    ReactionCategory.SILENT_IGNORANCE,
+]
+
+
+def render_pipeline_report(report: PipelineReport) -> str:
+    """The aggregate campaign table plus a cache/executor footer."""
+    rows = []
+    totals = [0] * (len(_CATEGORIES) + 2)
+    for run in report.runs:
+        counts = run.report.counts_by_category()
+        row: list[object] = [run.name, run.report.misconfigurations_tested]
+        totals[0] += run.report.misconfigurations_tested
+        for i, category in enumerate(_CATEGORIES):
+            n = counts.get(category, 0)
+            row.append(n)
+            totals[i + 1] += n
+        row.append(run.report.total())
+        totals[-1] += run.report.total()
+        row.append("cache" if run.from_cache else f"{run.duration:.2f}s")
+        rows.append(row)
+    rows.append(["Total", *totals, ""])
+    table = render_table(
+        "Pipeline: misconfiguration campaigns across systems",
+        [
+            "System",
+            "Injected",
+            "Crash/Hang",
+            "Early term.",
+            "Functional",
+            "Silent viol.",
+            "Silent ignor.",
+            "Total",
+            "Time",
+        ],
+        rows,
+    )
+    return table + "\n" + _footer(report)
+
+
+def _footer(report: PipelineReport) -> str:
+    inference = report.cache_stats.get("inference", {})
+    campaigns = report.cache_stats.get("campaigns", {})
+    lines = [
+        f"executor: {report.executor}; wall time: {report.wall_time:.2f}s; "
+        f"{report.cached_count()}/{len(report.runs)} campaigns from cache",
+        f"inference cache: {inference.get('hits', 0)} hits / "
+        f"{inference.get('misses', 0)} misses; "
+        f"campaign cache: {campaigns.get('hits', 0)} hits / "
+        f"{campaigns.get('misses', 0)} misses",
+    ]
+    return "\n".join(lines)

@@ -1,14 +1,19 @@
-"""Command-line interface: regenerate any table/figure on demand.
+"""Command-line interface: regenerate tables/figures, run the pipeline.
 
 Usage::
 
     python -m repro.reporting.cli            # everything (§4)
     python -m repro.reporting.cli table5a    # one table
     python -m repro.reporting.cli figure3 table11
+    python -m repro.reporting.cli pipeline --executor process
+    python -m repro.reporting.cli pipeline --systems apache,squid --repeat 2
+
+Unknown subcommands exit with status 2 and print this command list.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.reporting.evalrun import Evaluation
@@ -20,17 +25,83 @@ _SECTIONS = [
 ]
 
 
+def _usage() -> str:
+    sections = ", ".join(_SECTIONS)
+    return (
+        "usage: python -m repro.reporting.cli [command ...]\n"
+        "\n"
+        "commands:\n"
+        "  all (default)      regenerate every table and figure\n"
+        f"  <section>          one of: {sections}\n"
+        "  pipeline           run the batched multi-system campaign "
+        "pipeline\n"
+        "                     (--executor serial|thread|process, "
+        "--systems a,b, --workers N, --repeat N)\n"
+        "  help               show this message\n"
+    )
+
+
+def _pipeline_command(args: list[str]) -> int:
+    from repro.pipeline import CampaignPipeline, executor_names
+    from repro.reporting.aggregate import render_pipeline_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.cli pipeline",
+        description="Run injection campaigns across systems in one sweep.",
+    )
+    parser.add_argument(
+        "--executor", choices=list(executor_names()), default="serial"
+    )
+    parser.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated subset (default: all registered systems)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the sweep N times (re-runs hit the caches)",
+    )
+    try:
+        options = parser.parse_args(args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    names = options.systems.split(",") if options.systems else None
+    pipeline = CampaignPipeline(
+        systems=names,
+        executor=options.executor,
+        max_workers=options.workers,
+    )
+    report = None
+    try:
+        for _ in range(max(1, options.repeat)):
+            report = pipeline.run()
+    except KeyError as exc:  # unknown system, from the registry
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(render_pipeline_report(report))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    evaluation = Evaluation.shared()
+    if args and args[0] in ("help", "-h", "--help"):
+        print(_usage())
+        return 0
+    if args and args[0] == "pipeline":
+        return _pipeline_command(args[1:])
     if not args or args == ["all"]:
-        print(evaluation.all_tables())
+        print(Evaluation.shared().all_tables())
         return 0
     unknown = [a for a in args if a not in _SECTIONS]
     if unknown:
-        print(f"unknown section(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(_SECTIONS)}", file=sys.stderr)
+        print(f"unknown command(s): {', '.join(unknown)}", file=sys.stderr)
+        print(_usage(), file=sys.stderr)
         return 2
+    evaluation = Evaluation.shared()
     for name in args:
         print(getattr(evaluation, name)())
         print()

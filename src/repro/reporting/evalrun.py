@@ -14,8 +14,9 @@ from functools import lru_cache
 
 from repro.core.accuracy import AccuracyReport, score_accuracy
 from repro.core.engine import SpexReport
-from repro.inject.campaign import Campaign, CampaignReport
+from repro.inject.campaign import CampaignReport
 from repro.inject.reactions import ReactionCategory
+from repro.pipeline.runner import CampaignPipeline
 from repro.knowledge import Unit
 from repro.knowledge.semantic import SIZE_UNITS, TIME_UNITS
 from repro.lint import DesignLintReport, lint_system
@@ -61,6 +62,9 @@ class Evaluation:
 
     def __init__(self) -> None:
         self._results: dict[str, SystemResult] = {}
+        # Single-system campaigns are thin wrappers over the pipeline:
+        # one system per run() call, caches shared across calls.
+        self._pipeline = CampaignPipeline()
 
     @classmethod
     def shared(cls) -> "Evaluation":
@@ -68,12 +72,15 @@ class Evaluation:
             cls._shared = cls()
         return cls._shared
 
+    @property
+    def pipeline(self) -> CampaignPipeline:
+        return self._pipeline
+
     def result(self, name: str) -> SystemResult:
         if name not in self._results:
             system = get_system(name)
-            campaign = Campaign(system)
-            spex = campaign.run_spex()
-            report = campaign.run(spex)
+            report = self._pipeline.run(names=[name]).runs[0].report
+            spex = report.spex_report
             lint = lint_system(system, spex)
             accuracy = score_accuracy(name, spex.constraints, system.ground_truth)
             self._results[name] = SystemResult(system, spex, report, lint, accuracy)

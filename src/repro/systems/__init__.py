@@ -16,12 +16,22 @@ from repro.systems.base import (
     decode_string,
     decode_time_seconds,
 )
-from repro.systems.registry import all_systems, get_system, system_names
+from repro.systems.registry import (
+    all_systems,
+    get_system,
+    is_registered,
+    iter_systems,
+    load_all,
+    system_names,
+)
 
 __all__ = [
     "FunctionalTest",
     "SubjectSystem",
     "all_systems",
+    "is_registered",
+    "iter_systems",
+    "load_all",
     "decode_bool",
     "decode_int",
     "decode_size",

@@ -7,6 +7,22 @@ run, and judge one system.
 * effective-value locations   -> silent-violation detection
 * manual                      -> undocumented-constraint detection
 * ground truth                -> Table 12 accuracy
+
+Usage - fetch a registered system and drive the tools directly::
+
+    from repro.inject import Campaign, InjectionHarness
+    from repro.systems import get_system
+
+    system = get_system("vsftpd")
+    program = system.program()          # parse-and-link, memoized
+    template = system.template_ar()     # ConfErr-style config AR
+
+    assert InjectionHarness(system).baseline_ok()
+    report = Campaign(system).run()     # the system's Table 5 row
+
+Systems register a builder with `repro.systems.registry.register`
+and are discovered lazily; see `docs/ADDING_A_SYSTEM.md` for the
+full walkthrough of every field below.
 """
 
 from __future__ import annotations

@@ -1,6 +1,14 @@
-"""Registry of the seven evaluated subject systems."""
+"""Registry of the seven evaluated subject systems.
+
+Builders register themselves on import; instances are memoized.  The
+bulk API (`iter_systems`, `load_all`) is what the campaign pipeline
+uses to enumerate sweep targets without materialising systems it will
+end up skipping (e.g. cached ones).
+"""
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from repro.systems.base import SubjectSystem
 
@@ -34,6 +42,11 @@ def system_names() -> list[str]:
     return sorted(_BUILDERS)
 
 
+def is_registered(name: str) -> bool:
+    _ensure_loaded()
+    return name in _BUILDERS
+
+
 def get_system(name: str) -> SubjectSystem:
     _ensure_loaded()
     if name not in _CACHE:
@@ -41,5 +54,32 @@ def get_system(name: str) -> SubjectSystem:
     return _CACHE[name]
 
 
+def iter_systems(names: list[str] | None = None) -> Iterator[SubjectSystem]:
+    """Lazily yield systems - all of them, or the named subset in the
+    given order.  Unknown names raise `KeyError` up front so a sweep
+    fails before any work is done."""
+    _ensure_loaded()
+    selected = system_names() if names is None else list(names)
+    unknown = [n for n in selected if n not in _BUILDERS]
+    if unknown:
+        raise KeyError(
+            f"unknown system(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(system_names())}"
+        )
+    for name in selected:
+        yield get_system(name)
+
+
+def load_all() -> dict[str, SubjectSystem]:
+    """Materialise every registered system, keyed by name."""
+    return {system.name: system for system in iter_systems()}
+
+
 def all_systems() -> list[SubjectSystem]:
-    return [get_system(name) for name in system_names()]
+    return list(iter_systems())
+
+
+def clear_instance_cache() -> None:
+    """Drop memoized instances (builders stay registered).  Tests use
+    this to get pristine `SubjectSystem` objects."""
+    _CACHE.clear()

@@ -1,0 +1,174 @@
+"""Inference-cache semantics: hits, misses, invalidation, and key
+sensitivity to every component of the content fingerprint."""
+
+import json
+
+import pytest
+
+from repro.core import SpexOptions
+from repro.inject.campaign import Campaign
+from repro.pipeline import (
+    InferenceCache,
+    PipelineCaches,
+    campaign_fingerprint,
+    spex_fingerprint,
+)
+from repro.systems import get_system
+
+SOURCES = {"a.c": "int main() { return 0; }\n"}
+ANNOTATIONS = "{ @STRUCT = options }"
+
+
+class TestSpexFingerprint:
+    def test_stable(self):
+        assert spex_fingerprint(
+            SOURCES, ANNOTATIONS, SpexOptions()
+        ) == spex_fingerprint(SOURCES, ANNOTATIONS, SpexOptions())
+
+    def test_default_options_key_matches_explicit(self):
+        assert spex_fingerprint(SOURCES, ANNOTATIONS) == spex_fingerprint(
+            SOURCES, ANNOTATIONS, SpexOptions()
+        )
+
+    def test_source_order_irrelevant(self):
+        two = {"a.c": "int x;", "b.c": "int y;"}
+        reordered = dict(reversed(list(two.items())))
+        assert spex_fingerprint(two, "") == spex_fingerprint(reordered, "")
+
+    def test_changed_source_changes_key(self):
+        other = {"a.c": "int main() { return 1; }\n"}
+        assert spex_fingerprint(SOURCES, ANNOTATIONS) != spex_fingerprint(
+            other, ANNOTATIONS
+        )
+
+    def test_changed_annotations_change_key(self):
+        assert spex_fingerprint(SOURCES, ANNOTATIONS) != spex_fingerprint(
+            SOURCES, ANNOTATIONS + " "
+        )
+
+    def test_changed_options_change_key(self):
+        ablated = SpexOptions(enable_value_rels=False)
+        assert spex_fingerprint(
+            SOURCES, ANNOTATIONS, SpexOptions()
+        ) != spex_fingerprint(SOURCES, ANNOTATIONS, ablated)
+
+    def test_nested_taint_options_change_key(self):
+        deeper = SpexOptions()
+        deeper.taint.max_rounds += 1
+        assert spex_fingerprint(
+            SOURCES, ANNOTATIONS, SpexOptions()
+        ) != spex_fingerprint(SOURCES, ANNOTATIONS, deeper)
+
+
+class TestCampaignFingerprint:
+    def test_rule_roster_matters(self):
+        key = spex_fingerprint(SOURCES, ANNOTATIONS)
+        assert campaign_fingerprint(key, ["a", "b"]) != campaign_fingerprint(
+            key, ["a"]
+        )
+
+    def test_rule_order_irrelevant(self):
+        key = spex_fingerprint(SOURCES, ANNOTATIONS)
+        assert campaign_fingerprint(key, ["a", "b"]) == campaign_fingerprint(
+            key, ["b", "a"]
+        )
+
+    def test_same_named_subclass_changes_roster(self):
+        """A plug-in that keeps its rule name but changes behaviour
+        (a subclass) must not reuse the stock roster's cache key."""
+        from repro.inject.generators import (
+            BasicTypeViolationPlugin,
+            default_generators,
+        )
+
+        class Variant(BasicTypeViolationPlugin):
+            pass
+
+        stock = default_generators()
+        modified = default_generators()
+        modified.plugins[0] = Variant()
+        assert stock.rule_names() == modified.rule_names()
+        assert stock.roster() != modified.roster()
+        key = spex_fingerprint(SOURCES, ANNOTATIONS)
+        assert campaign_fingerprint(
+            key, stock.roster()
+        ) != campaign_fingerprint(key, modified.roster())
+
+
+class TestInferenceCache:
+    def test_miss_then_hit(self):
+        cache = InferenceCache()
+        system = get_system("apache")
+        campaign = Campaign(system, inference_cache=cache)
+        first = campaign.run_spex()
+        second = campaign.run_spex()
+        assert second is first  # served from cache, not re-inferred
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_changed_options_miss(self):
+        cache = InferenceCache()
+        system = get_system("apache")
+        Campaign(system, inference_cache=cache).run_spex()
+        ablated = SpexOptions(enable_control_deps=False)
+        report = Campaign(
+            system, spex_options=ablated, inference_cache=cache
+        ).run_spex()
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+        assert not report.constraints.control_deps()
+        assert len(cache) == 2
+
+    def test_invalidate_forces_recompute(self):
+        cache = InferenceCache()
+        system = get_system("apache")
+        campaign = Campaign(system, inference_cache=cache)
+        first = campaign.run_spex()
+        key = cache.key_for(system, campaign.spex_options)
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)  # already gone
+        second = campaign.run_spex()
+        assert second is not first
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 2
+
+    def test_clear_counts_invalidations(self):
+        cache = InferenceCache()
+        cache.put("k1", object())
+        cache.put("k2", object())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+class TestReportSerialization:
+    def test_summary_dict_is_json_able(self):
+        system = get_system("apache")
+        report = Campaign(system).run_spex()
+        summary = report.summary_dict()
+        decoded = json.loads(json.dumps(summary))
+        assert decoded["system"] == "apache"
+        assert decoded["parameters"] == sorted(report.parameters)
+        assert decoded["constraint_counts"] == report.constraint_counts()
+        assert len(decoded["constraints"]) == len(report.constraints)
+
+
+class TestPipelineCaches:
+    def test_stats_shape(self):
+        caches = PipelineCaches()
+        stats = caches.stats()
+        assert set(stats) == {"inference", "campaigns"}
+        assert stats["inference"] == {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+        }
+
+    def test_options_fingerprint_is_hex(self):
+        fingerprint = SpexOptions().fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # raises if not hex
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

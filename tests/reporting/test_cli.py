@@ -18,4 +18,23 @@ class TestCli:
     def test_unknown_section_errors(self, capsys, evaluation):
         assert main(["table99"]) == 2
         err = capsys.readouterr().err
-        assert "unknown section" in err
+        assert "unknown command" in err
+        # The help listing must advertise the pipeline subcommand.
+        assert "pipeline" in err
+
+    def test_help_lists_pipeline(self, capsys):
+        assert main(["help"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out and "table5a" in out
+
+    def test_pipeline_command(self, capsys):
+        assert main(["pipeline", "--systems", "apache", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline: misconfiguration campaigns across systems" in out
+        assert "apache" in out
+        assert "campaign cache: 1 hits" in out
+
+    def test_pipeline_unknown_system_errors(self, capsys):
+        assert main(["pipeline", "--systems", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown system" in err

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Execute every Python code block in README.md against the live
+library.
+
+Documentation drifts when examples reference imports, functions or
+parameters that were since renamed; this gate runs each fenced
+``python`` block in its own namespace (in file order) and fails with
+the block's location on the first error.  Wired to `make docs-check`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md"]
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str]]:
+    """(start line, code) of every ```python fence, non-greedy."""
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    start = 0
+    buffer: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped == "```python":
+            in_block = True
+            start = i + 1
+            buffer = []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(buffer)))
+        elif in_block:
+            buffer.append(line)
+    if in_block:
+        raise SystemExit(f"unterminated ```python fence at line {start}")
+    return blocks
+
+
+def run_blocks(path: Path) -> int:
+    text = path.read_text(encoding="utf-8")
+    blocks = extract_python_blocks(text)
+    failures = 0
+    for lineno, code in blocks:
+        namespace: dict = {"__name__": "__docs_check__"}
+        try:
+            exec(compile(code, f"{path.name}:{lineno}", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            failures += 1
+            print(f"FAIL {path.name}:{lineno}: {exc!r}", file=sys.stderr)
+        else:
+            print(f"ok   {path.name}:{lineno} ({len(code.splitlines())} lines)")
+    print(f"{path.name}: {len(blocks)} block(s), {failures} failure(s)")
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            print(f"FAIL missing documentation file: {name}", file=sys.stderr)
+            failures += 1
+            continue
+        failures += run_blocks(path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
