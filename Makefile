@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check quickstart pipeline all
+.PHONY: test lint bench docs-check quickstart pipeline all
 
 all: test docs-check
 
-# Tier-1 verification: the full unit/integration/benchmark suite.
-test:
+# Tier-1 verification: dead-code lint, then the full
+# unit/integration/benchmark suite.
+test: lint
 	$(PYTHON) -m pytest -x -q
+
+# AST-based dead-code checks (no third-party install needed); add
+# LINT_EXTERNAL=1 to also run ruff/pyflakes when installed.
+LINT_EXTERNAL ?=
+lint:
+	$(PYTHON) tools/lint.py $(if $(LINT_EXTERNAL),--external)
 
 # Benchmark suite only, with the regenerated tables printed.
 bench:

@@ -134,12 +134,11 @@ class TestInjectionOptimizationAblation:
             description="bench",
         )
 
-        def run(stop: bool, sort: bool) -> int:
+        def run(stop: bool, sort: bool):
             harness = InjectionHarness(
                 system, stop_at_first_failure=stop, sort_shortest_first=sort
             )
-            verdict = harness.test_misconfiguration(misconf)
-            return verdict.tests_run
+            return harness.test_misconfiguration(misconf)
 
         optimized = benchmark.pedantic(
             run, args=(True, True), rounds=3, iterations=1
@@ -147,8 +146,22 @@ class TestInjectionOptimizationAblation:
         unoptimized = run(False, False)
         emit(
             "Ablation (injection optimizations on OpenLDAP): "
-            f"optimized runs {optimized} test(s), naive runs {unoptimized}"
+            f"optimized runs {optimized.tests_run} test(s) "
+            f"({len(optimized.failed_tests)} failure(s) recorded), naive "
+            f"runs {unoptimized.tests_run} "
+            f"({len(unoptimized.failed_tests)} failure(s) recorded)"
         )
         # Shortest-first runs 'ping' (0.5s nominal) first and stops at
-        # its failure: a single run instead of the whole suite.
-        assert optimized <= unoptimized
+        # its failure: a single run instead of the whole suite.  The
+        # full-suite mode must actually keep driving the remaining
+        # tests - strictly more runs on a failing injection - and
+        # record every failure it sees along the way.
+        assert optimized.tests_run == 1
+        assert unoptimized.tests_run == len(system.tests)
+        assert unoptimized.tests_run > optimized.tests_run
+        assert len(unoptimized.failed_tests) >= len(optimized.failed_tests)
+        # The optimized mode's single observed failure is among the
+        # full roster the naive mode recorded (the two modes walk the
+        # suite in different orders, so only containment is invariant).
+        assert optimized.reaction.failed_test in unoptimized.failed_tests
+        assert unoptimized.is_vulnerability and optimized.is_vulnerability

@@ -6,10 +6,23 @@ through `repro.pipeline.CampaignPipeline`, which fans campaigns out
 across executors and shares the inference cache between them.  A
 `Campaign` constructed with an `inference_cache` participates in that
 sharing; without one it re-infers on every `run_spex()` call.
+
+A campaign's own injection loop fans out too: `run()` shards the
+per-parameter `MisconfigurationBatch`es over the same executor
+abstraction the pipeline uses one layer up (serial / thread /
+process), then folds verdicts back in deterministic batch order, so
+the (parameter, reaction, rule) dedup - and therefore the
+`Vulnerability` set - is bit-identical to the serial loop.  A shared
+`launch_cache` deduplicates interpreter runs across the shards.
+
+Executor machinery is imported lazily inside `run()`:
+`repro.pipeline` sits *above* this module in the layer map, and a
+module-level import would be circular.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -27,7 +40,8 @@ from repro.lang.source import Location
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid the inject <-> systems/pipeline import cycles
-    from repro.pipeline.cache import InferenceCache
+    from repro.pipeline.cache import InferenceCache, LaunchCache
+    from repro.pipeline.executor import Executor
     from repro.systems.base import SubjectSystem
 
 
@@ -79,6 +93,15 @@ class Campaign:
     # Shared by the pipeline so ablation sweeps and re-runs skip
     # re-inference; None means infer fresh each time.
     inference_cache: "InferenceCache | None" = None
+    # How the injection loop itself is sharded: an executor name
+    # ("serial" / "thread" / "process") or instance, applied to the
+    # per-parameter misconfiguration batches.
+    executor: "str | Executor" = "serial"
+    max_workers: int | None = None
+    # Shared by the pipeline so identical launches (same system,
+    # rendered config, requests, interpreter options) run once across
+    # batches, re-runs and parity sweeps; None disables launch caching.
+    launch_cache: "LaunchCache | None" = None
 
     def run_spex(self) -> SpexReport:
         if self.inference_cache is None:
@@ -106,17 +129,41 @@ class Campaign:
         misconfs += self._case_alterations(spex_report, template)
         return batch_by_param(misconfs), template
 
-    def run(self, spex_report: SpexReport | None = None) -> CampaignReport:
+    def run(
+        self,
+        spex_report: SpexReport | None = None,
+        executor: "str | Executor | None" = None,
+    ) -> CampaignReport:
+        """Run the campaign; `executor` overrides the configured batch
+        sharding strategy for this call only."""
+        from repro.pipeline.executor import ProcessExecutor, resolve_executor
+
+        chosen = resolve_executor(
+            self.executor if executor is None else executor, self.max_workers
+        )
         report = CampaignReport(system=self.system.name)
         report.spex_report = spex_report or self.run_spex()
         batches, template = self.generate(report.spex_report)
-        harness = InjectionHarness(self.system)
         report.misconfigurations_tested = sum(len(b) for b in batches)
+
+        if isinstance(chosen, ProcessExecutor) and len(batches) > 1:
+            verdict_lists = self._test_batches_in_processes(
+                chosen, report.spex_report, batches
+            )
+        else:
+            harness = InjectionHarness(
+                self.system, launch_cache=self.launch_cache
+            )
+            verdict_lists = chosen.map(
+                lambda batch: harness.test_batch(batch, template), batches
+            )
+
         # One vulnerability per (parameter, reaction, rule): several
         # erroneous values of the same flavour expose the same hole.
+        # Verdicts fold back in deterministic batch order, so the dedup
+        # (and the Vulnerability set) never depends on scheduling.
         seen: set[tuple] = set()
-        for batch in batches:
-            verdicts = harness.test_batch(batch, template)
+        for batch, verdicts in zip(batches, verdict_lists):
             for misconf, verdict in zip(batch, verdicts):
                 report.verdicts.append(verdict)
                 if not verdict.is_vulnerability:
@@ -133,6 +180,54 @@ class Campaign:
                     self._vulnerability_from(misconf, verdict)
                 )
         return report
+
+    def _test_batches_in_processes(
+        self, executor, spex_report: SpexReport, batches
+    ) -> list[list[InjectionVerdict]]:
+        """Shard batches across worker processes.
+
+        Tasks cross a pickle boundary, so they carry (system name,
+        spex options, batch index) and workers rebuild the campaign
+        context; `_seed_batch_workers` pre-plants this campaign's
+        inference result and launch cache in module state so forked
+        workers inherit them instead of re-inferring (under a spawn
+        start method the seed is simply absent and workers recompute).
+        """
+        if self.generators.roster() != default_generators().roster():
+            raise ValueError(
+                "the process executor rebuilds campaign context in "
+                "worker processes and cannot ship a customised "
+                "generator registry; use the serial or thread executor"
+            )
+        seed_key = _seed_batch_workers(
+            self.system.name, self.spex_options, spex_report, self.launch_cache
+        )
+        # Each task carries a content hash of its batch as well as its
+        # index: a worker that rebuilt a *different* batch list
+        # (possible only under a spawn start method, where the seed is
+        # absent and re-inference runs under a fresh hash seed) must
+        # fail loudly rather than test the wrong injections.
+        use_launch_cache = self.launch_cache is not None
+        tasks = [
+            (
+                self.system.name,
+                self.spex_options,
+                index,
+                _batch_digest(batch),
+                use_launch_cache,
+            )
+            for index, batch in enumerate(batches)
+        ]
+        try:
+            results = executor.map(_test_batch_by_name, tasks)
+        finally:
+            _WORKER_SEEDS.pop(seed_key, None)
+        verdict_lists: list[list[InjectionVerdict]] = [None] * len(batches)
+        for index, verdicts, launch_stats in results:
+            verdict_lists[index] = verdicts
+            if self.launch_cache is not None:
+                self.launch_cache.absorb_stats(launch_stats)
+        return verdict_lists
 
     def _case_alterations(self, spex_report: SpexReport, template):
         """Case-altered values for parameters whose dataflow shows
@@ -188,3 +283,114 @@ class Campaign:
             injected=misconf.settings,
             code_location=location,
         )
+
+
+def slim_verdicts(verdicts: list[InjectionVerdict]) -> None:
+    """Drop per-verdict interpreter snapshots before verdicts cross a
+    pickle boundary: they exist for in-campaign silent-violation
+    checks, quadruple the pickle size, and no aggregate consumer reads
+    them.  Slimming replaces each result with a copy rather than
+    mutating it: the original may be a live launch-cache entry whose
+    snapshot later batches still read."""
+    from dataclasses import replace
+
+    for verdict in verdicts:
+        if verdict.startup_result is not None:
+            verdict.startup_result = replace(
+                verdict.startup_result, interpreter=None
+            )
+
+
+# -- process-executor batch workers -----------------------------------------
+#
+# Batch tasks are dispatched by (system name, spex options, batch index)
+# and the worker rebuilds everything else.  Two module-level stores make
+# that cheap:
+#
+# * `_WORKER_SEEDS` is written by the *parent* right before the pool
+#   forks: fork-started workers inherit the parent's inference result
+#   and launch cache for free.  (Pure seed data - a worker that misses
+#   it recomputes the same values.)
+# * `_WORKER_CONTEXTS` is each worker process's private memo of the
+#   rebuilt (harness, batches, template) context, so a worker serving
+#   many batches of one campaign pays the rebuild once.
+
+_WORKER_SEEDS: dict[tuple[str, str], tuple] = {}
+_WORKER_CONTEXTS: dict[tuple[str, str], tuple] = {}
+
+
+def _batch_digest(batch) -> str:
+    """Content hash of one batch's full injection roster (settings and
+    rules, in order) - the parent/worker alignment check's currency."""
+    payload = repr(
+        (batch.param, [(m.settings, m.rule) for m in batch])
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _seed_batch_workers(
+    name: str, spex_options: SpexOptions, spex_report, launch_cache
+) -> tuple[str, str]:
+    key = (name, spex_options.fingerprint())
+    _WORKER_SEEDS[key] = (spex_report, launch_cache)
+    return key
+
+
+def _worker_context(
+    name: str, spex_options: SpexOptions, use_launch_cache: bool
+):
+    from repro.pipeline.cache import LaunchCache
+    from repro.systems.registry import get_system
+
+    key = (name, spex_options.fingerprint(), use_launch_cache)
+    context = _WORKER_CONTEXTS.get(key)
+    if context is None:
+        seed = _WORKER_SEEDS.get(key[:2])
+        spex_report, launch_cache = seed if seed else (None, None)
+        campaign = Campaign(get_system(name), spex_options=spex_options)
+        if spex_report is None:
+            spex_report = campaign.run_spex()
+        if use_launch_cache and launch_cache is None:
+            launch_cache = LaunchCache()
+        if not use_launch_cache:
+            # The parent disabled launch caching (memory bound, cold
+            # timing measurements); workers must honour that.
+            launch_cache = None
+        batches, template = campaign.generate(spex_report)
+        harness = InjectionHarness(campaign.system, launch_cache=launch_cache)
+        context = (harness, batches, template)
+        _WORKER_CONTEXTS[key] = context
+    return context
+
+
+def _test_batch_by_name(task):
+    """Process-pool entry point for one `MisconfigurationBatch`.
+
+    Returns (batch index, slimmed verdicts, launch-cache stats delta);
+    interpreter snapshots are dropped before the verdicts cross the
+    pickle boundary - silent-violation classification already happened
+    in this process.
+    """
+    name, spex_options, batch_index, digest, use_launch_cache = task
+    harness, batches, template = _worker_context(
+        name, spex_options, use_launch_cache
+    )
+    batch = batches[batch_index]
+    if _batch_digest(batch) != digest:
+        raise RuntimeError(
+            f"worker rebuilt a divergent batch list for {name}: batch "
+            f"{batch_index} ({batch.param!r}x{len(batch)}) does not "
+            "match the injections the parent dispatched (re-inference "
+            "is sensitive to the interpreter hash seed; use a fork "
+            "start method or set PYTHONHASHSEED)"
+        )
+    if harness.launch_cache is None:
+        verdicts = harness.test_batch(batch, template)
+        slim_verdicts(verdicts)
+        return batch_index, verdicts, {}
+    before = harness.launch_cache.stats.snapshot()
+    verdicts = harness.test_batch(batch, template)
+    slim_verdicts(verdicts)
+    after = harness.launch_cache.stats.snapshot()
+    delta = {key: after[key] - before[key] for key in after}
+    return batch_index, verdicts, delta

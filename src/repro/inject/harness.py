@@ -20,7 +20,8 @@ from repro.inject.reactions import Reaction, ReactionCategory
 from repro.runtime.interpreter import InterpreterOptions
 from repro.runtime.process import ProcessResult, ProcessStatus, run_program
 
-if TYPE_CHECKING:  # avoid the inject <-> systems import cycle
+if TYPE_CHECKING:  # avoid the inject <-> systems/pipeline import cycles
+    from repro.pipeline.cache import LaunchCache
     from repro.systems.base import SubjectSystem
 
 
@@ -33,6 +34,9 @@ class InjectionVerdict:
     startup_result: ProcessResult | None = None
     tests_run: int = 0
     log_excerpt: str = ""
+    # Every functional test that failed.  With stop_at_first_failure
+    # this holds at most the first; full-suite mode records them all.
+    failed_tests: tuple[str, ...] = ()
 
     @property
     def is_vulnerability(self) -> bool:
@@ -49,10 +53,38 @@ class InjectionHarness:
     )
     stop_at_first_failure: bool = True
     sort_shortest_first: bool = True
+    # When set, launches are served content-addressed: identical
+    # (system, config text, requests, interpreter options) share one
+    # interpreter run.  Launches are pure, so caching is transparent.
+    launch_cache: "LaunchCache | None" = None
+    # Memo of `options.fingerprint()`: the options are fixed for the
+    # harness's lifetime and the digest sits on the per-launch hot
+    # path (do not mutate `options` after the first launch).
+    _options_fingerprint: str | None = field(
+        default=None, init=False, repr=False
+    )
 
     # -- low-level runs ------------------------------------------------------
 
     def launch(
+        self, config_text: str, requests: list[str] | None = None
+    ) -> ProcessResult:
+        if self.launch_cache is None:
+            return self._launch(config_text, requests)
+        if self._options_fingerprint is None:
+            self._options_fingerprint = self.options.fingerprint()
+        key = self.launch_cache.key_for(
+            self.system,
+            config_text,
+            requests,
+            self.options,
+            options_fingerprint=self._options_fingerprint,
+        )
+        return self.launch_cache.get_or_compute(
+            key, lambda: self._cacheable_launch(config_text, requests)
+        )
+
+    def _launch(
         self, config_text: str, requests: list[str] | None = None
     ) -> ProcessResult:
         os_model = self.system.make_os()
@@ -65,6 +97,17 @@ class InjectionHarness:
             argv=[self.system.name, self.system.config_path],
             options=self.options,
         )
+
+    def _cacheable_launch(
+        self, config_text: str, requests: list[str] | None
+    ) -> ProcessResult:
+        result = self._launch(config_text, requests)
+        if requests:
+            # Only startup snapshots are read back (silent-violation
+            # checks); dropping request-run interpreters bounds the
+            # cache's footprint to one snapshot per unique config.
+            result.interpreter = None
+        return result
 
     def baseline_ok(self) -> bool:
         """The unmodified template must start and pass all tests."""
@@ -145,45 +188,59 @@ class InjectionHarness:
         if self.sort_shortest_first:
             tests.sort(key=lambda t: t.duration)
         tests_run = 0
+        first_failure: InjectionVerdict | None = None
+        failed_tests: list[str] = []
         for test in tests:
             tests_run += 1
             run = self.launch(config_text, test.requests)
-            run_pinpointed = pinpointed or self._pinpointed(run, misconf, ar)
-            if run.status in (ProcessStatus.CRASHED, ProcessStatus.HUNG):
-                return InjectionVerdict(
-                    misconf,
-                    Reaction(
+            crashed = run.status in (ProcessStatus.CRASHED, ProcessStatus.HUNG)
+            failed = crashed or run.exit_code != 0 or not test.oracle(
+                run.responses
+            )
+            if not failed:
+                continue
+            failed_tests.append(test.name)
+            if first_failure is None:
+                # Pinpointing evidence only matters for the verdict
+                # that classifies the misconfiguration - the first
+                # observed failure; later failures are recorded by
+                # name without re-scanning logs.
+                run_pinpointed = pinpointed or self._pinpointed(
+                    run, misconf, ar
+                )
+                if crashed:
+                    reaction = Reaction(
                         ReactionCategory.CRASH_HANG,
                         detail=run.fault_reason or run.status.value,
                         pinpointed=run_pinpointed,
                         failed_test=test.name,
                         fault_signal=run.fault_signal,
-                    ),
-                    startup,
-                    tests_run,
-                    run.log_text(),
-                )
-            if run.exit_code != 0 or not test.oracle(run.responses):
-                category = (
-                    ReactionCategory.GOOD
-                    if run_pinpointed
-                    else ReactionCategory.FUNCTIONAL_FAILURE
-                )
-                verdict = InjectionVerdict(
-                    misconf,
-                    Reaction(
-                        category,
+                    )
+                else:
+                    reaction = Reaction(
+                        ReactionCategory.GOOD
+                        if run_pinpointed
+                        else ReactionCategory.FUNCTIONAL_FAILURE,
                         detail=f"functional test {test.name!r} failed",
                         pinpointed=run_pinpointed,
                         failed_test=test.name,
-                    ),
-                    startup,
-                    tests_run,
-                    run.log_text(),
+                    )
+                first_failure = InjectionVerdict(
+                    misconf, reaction, startup, tests_run, run.log_text()
                 )
-                if self.stop_at_first_failure:
-                    return verdict
-                return verdict
+            if self.stop_at_first_failure:
+                break
+            # Full-suite mode keeps going: every test drives a fresh
+            # launch, so one failure (even a crash) does not prevent
+            # observing the rest.
+
+        if first_failure is not None:
+            # Classification follows the first observed failure (the
+            # same verdict both modes return); full-suite mode also
+            # carries the complete failure roster and test count.
+            first_failure.tests_run = tests_run
+            first_failure.failed_tests = tuple(failed_tests)
+            return first_failure
 
         # All tests pass: silent violation / ignorance / good.
         return self._classify_silent(misconf, startup, pinpointed, tests_run)
@@ -248,11 +305,14 @@ class InjectionHarness:
             if location is None:
                 continue
             var, path = location
-            value = interp.globals.get(var)
-            for fld in path:
-                if value is None:
-                    break
-                value = value.fields.get(fld) if hasattr(value, "fields") else None
+            value, resolved = self._resolve_effective(interp, var, path)
+            if not resolved:
+                # An effective-value location that cannot be traversed
+                # (missing global, non-struct hop, absent field) is no
+                # evidence of a changed value - reporting it as a
+                # silent violation would blame the harness's own
+                # bookkeeping on the system.
+                continue
             intended = self.system.decoder_for(param)(injected)
             if value is None and intended is None:
                 continue
@@ -260,21 +320,38 @@ class InjectionHarness:
                 return (param, injected, value)
         return None
 
+    @staticmethod
+    def _resolve_effective(
+        interp, var: str, path: tuple[str, ...]
+    ) -> tuple[object, bool]:
+        """Walk `var.path...`; returns (value, fully-resolved?)."""
+        if var not in interp.globals:
+            return None, False
+        value = interp.globals[var]
+        for fld in path:
+            fields = getattr(value, "fields", None)
+            if fields is None or fld not in fields:
+                return None, False
+            value = fields[fld]
+        return value, True
+
     # -- pinpointing -----------------------------------------------------------
 
     def _pinpointed(self, result: ProcessResult, misconf, ar) -> bool:
         """Did any log message name the parameter, its value, or its
-        config-file line?"""
+        config-file line?
+
+        Matching is word-bounded: "line 1" must not be credited for a
+        log saying "line 12", and a short injected value like "10"
+        must not match inside every longer number in the logs.
+        """
         for param, value in misconf.settings:
-            if result.logs_mention(param):
+            if result.logs_mention_word(param):
                 return True
-            if len(value) >= 2 and result.logs_mention(value):
+            if len(value) >= 2 and result.logs_mention_word(value):
                 return True
             line = ar.line_of(param)
-            if line is not None and (
-                result.logs_mention(f"line {line}")
-                or result.logs_mention(f"line {line}:")
-            ):
+            if line is not None and result.logs_mention_word(f"line {line}"):
                 return True
         return False
 

@@ -17,8 +17,10 @@ from repro.pipeline.cache import (
     CacheStats,
     ContentCache,
     InferenceCache,
+    LaunchCache,
     PipelineCaches,
     campaign_fingerprint,
+    launch_fingerprint,
     spex_fingerprint,
 )
 from repro.pipeline.executor import (
@@ -42,6 +44,7 @@ __all__ = [
     "ContentCache",
     "Executor",
     "InferenceCache",
+    "LaunchCache",
     "PipelineCaches",
     "PipelineReport",
     "ProcessExecutor",
@@ -50,6 +53,7 @@ __all__ = [
     "ThreadExecutor",
     "campaign_fingerprint",
     "executor_names",
+    "launch_fingerprint",
     "resolve_executor",
     "run_pipeline",
     "spex_fingerprint",

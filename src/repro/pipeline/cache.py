@@ -8,6 +8,11 @@ campaigns, ablation sweeps and multi-executor parity runs skip
 re-inference entirely.  A second, optional layer caches whole
 `CampaignReport`s keyed by the inference fingerprint plus the
 generator-rule set, which makes a warm pipeline re-run almost free.
+A third layer, the `LaunchCache`, works at the opposite end of the
+stack: individual interpreter launches keyed by (system, config text,
+requests, interpreter options), so injections that serialize to
+identical configs - and every repeated baseline launch - share one
+interpreter run.
 
 Keys are SHA-256 hex digests; a changed source file, annotation block
 or `SpexOptions` knob yields a new key, so stale entries are never
@@ -83,6 +88,13 @@ class CacheStats:
             "invalidations": self.invalidations,
         }
 
+    def absorb(self, delta: dict[str, int]) -> None:
+        """Fold a snapshot-shaped delta in (how counters observed in a
+        worker process reach the parent's stats)."""
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        self.invalidations += delta.get("invalidations", 0)
+
 
 class ContentCache(Generic[T]):
     """A thread-safe content-addressed store with hit/miss counters.
@@ -98,10 +110,16 @@ class ContentCache(Generic[T]):
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Taken under the lock: len()/containment race with worker
+        # threads mutating `_entries` (dict resizing mid-read raises
+        # RuntimeError under free-threaded builds and returns torn
+        # observations everywhere else).
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> T | None:
         with self._lock:
@@ -133,6 +151,12 @@ class ContentCache(Generic[T]):
         with self._lock:
             return self._entries.setdefault(key, value)
 
+    def absorb_stats(self, delta: dict[str, int]) -> None:
+        """Fold a worker process's counter delta in, under the lock
+        (concurrent campaigns absorb into one shared cache)."""
+        with self._lock:
+            self.stats.absorb(delta)
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""
         with self._lock:
@@ -156,15 +180,85 @@ class InferenceCache(ContentCache[SpexReport]):
         return spex_fingerprint(system.sources, system.annotations, options)
 
 
+def launch_fingerprint(
+    system_name: str,
+    config_text: str,
+    requests: tuple[str, ...] = (),
+    options_fingerprint: str = "",
+) -> str:
+    """Content hash of one interpreter launch.
+
+    The key covers everything that determines a `ProcessResult` for a
+    registered system: which system runs (its program and OS fixtures
+    are a deterministic function of the name within one process), the
+    rendered config text installed before boot, the exact request
+    sequence driven through it, and the interpreter budget knobs via
+    `InterpreterOptions.fingerprint()`.  Launches are pure - the
+    emulated OS has no real clock or randomness - so two launches with
+    equal keys produce interchangeable results.
+    """
+    digest = hashlib.sha256()
+    digest.update(system_name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(config_text.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(str(len(requests)).encode("utf-8"))
+    for request in requests:
+        digest.update(b"\x00")
+        digest.update(request.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(options_fingerprint.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class LaunchCache(ContentCache):
+    """`ProcessResult`s keyed by `launch_fingerprint`.
+
+    This is the injection hot path's cache: a campaign launches the
+    interpreter once per startup plus once per functional test, and
+    identical (config text, requests) pairs recur - several generation
+    rules can serialize to the same erroneous config, re-runs repeat
+    every baseline launch, and ablation sweeps repeat whole campaigns.
+    All of those share one interpreter run.
+
+    Cached `ProcessResult`s follow the store's immutable-by-convention
+    contract; the harness slims request-driven results (drops the
+    interpreter snapshot) *before* insertion, never after.
+    """
+
+    def key_for(
+        self,
+        system,
+        config_text: str,
+        requests: list[str] | None,
+        options,
+        options_fingerprint: str | None = None,
+    ) -> str:
+        """Key of one launch of a subject system (duck-typed: any
+        object with a `.name` works; `options` needs `fingerprint()`).
+        Callers on a hot path may pass a precomputed
+        `options_fingerprint` to skip re-hashing unchanged options."""
+        return launch_fingerprint(
+            system.name,
+            config_text,
+            tuple(requests or ()),
+            options_fingerprint
+            if options_fingerprint is not None
+            else options.fingerprint(),
+        )
+
+
 @dataclass
 class PipelineCaches:
-    """The cache pair one pipeline (or several, sharing) uses."""
+    """The cache trio one pipeline (or several, sharing) uses."""
 
     inference: InferenceCache = field(default_factory=InferenceCache)
     campaigns: ContentCache = field(default_factory=ContentCache)
+    launches: LaunchCache = field(default_factory=LaunchCache)
 
     def stats(self) -> dict[str, dict[str, int]]:
         return {
             "inference": self.inference.stats.snapshot(),
             "campaigns": self.campaigns.stats.snapshot(),
+            "launches": self.launches.stats.snapshot(),
         }

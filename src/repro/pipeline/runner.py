@@ -8,10 +8,14 @@
    fingerprint (sources + annotations + options + generation rules)
    is unchanged;
 3. fans the remaining campaigns out over a pluggable executor
-   (serial / thread / process);
+   (serial / thread / process), and optionally shards each campaign's
+   own injection batches over a second, inner executor
+   (`batch_executor`);
 4. shares one `InferenceCache` so ablation sweeps over harness or
    generator settings never re-run SPEX inference for an unchanged
-   program.
+   program, and one `LaunchCache` so identical interpreter launches
+   (same system, rendered config, requests, interpreter options) run
+   once across campaigns and re-runs.
 
 Usage::
 
@@ -30,13 +34,23 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core import SpexOptions
-from repro.inject.campaign import Campaign, CampaignReport, Vulnerability
+from repro.inject.campaign import (
+    Campaign,
+    CampaignReport,
+    Vulnerability,
+    slim_verdicts,
+)
 from repro.inject.generators import GeneratorRegistry, default_generators
 from repro.inject.reactions import ReactionCategory
-from repro.pipeline.cache import PipelineCaches, campaign_fingerprint
+from repro.pipeline.cache import (
+    LaunchCache,
+    PipelineCaches,
+    campaign_fingerprint,
+)
 from repro.pipeline.executor import (
     Executor,
     ProcessExecutor,
+    ThreadExecutor,
     resolve_executor,
 )
 from repro.systems.registry import get_system, iter_systems, system_names
@@ -112,25 +126,32 @@ class PipelineReport:
         }
 
 
-def _run_campaign_by_name(task: tuple[str, SpexOptions]):
+def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
     """Process-pool entry point: rebuild the system in the worker (the
     task crosses a pickle boundary, the `SubjectSystem` does not)."""
-    name, spex_options = task
+    name, spex_options, batch_executor, max_workers = task
     started = time.perf_counter()
-    campaign = Campaign(get_system(name), spex_options=spex_options)
+    # Worker processes never nest another process pool: batch-level
+    # "process" sharding degrades to serial inside a system-level
+    # process worker (the cores are already busy with sibling systems).
+    if batch_executor == "process":
+        batch_executor = "serial"
+    launch_cache = LaunchCache()
+    campaign = Campaign(
+        get_system(name),
+        spex_options=spex_options,
+        executor=batch_executor,
+        max_workers=max_workers,
+        launch_cache=launch_cache,
+    )
     report = campaign.run()
-    _slim_for_transport(report)
-    return name, report, time.perf_counter() - started
-
-
-def _slim_for_transport(report: CampaignReport) -> None:
-    """Drop per-verdict interpreter snapshots before the report crosses
-    the process boundary: they exist for in-campaign silent-violation
-    checks, quadruple the pickle size, and no aggregate consumer reads
-    them."""
-    for verdict in report.verdicts:
-        if verdict.startup_result is not None:
-            verdict.startup_result.interpreter = None
+    slim_verdicts(report.verdicts)
+    return (
+        name,
+        report,
+        time.perf_counter() - started,
+        launch_cache.stats.snapshot(),
+    )
 
 
 @dataclass
@@ -153,6 +174,12 @@ class CampaignPipeline:
     max_workers: int | None = None
     caches: PipelineCaches = field(default_factory=PipelineCaches)
     reuse_campaigns: bool = True
+    # How each campaign shards its own injection batches (None keeps
+    # the in-campaign loop serial).  A "process" batch executor
+    # degrades to serial inside system-level process workers (pools
+    # never nest) and under a thread system executor (forking from a
+    # multithreaded parent is unsafe).
+    batch_executor: str | Executor | None = None
 
     def run(
         self,
@@ -164,6 +191,15 @@ class CampaignPipeline:
         chosen = resolve_executor(
             self.executor if executor is None else executor, self.max_workers
         )
+        if self._batch_executor_name() == "process" and not isinstance(
+            chosen, ThreadExecutor
+        ):
+            # Fail before any campaign runs, not when the first
+            # multi-batch campaign reaches its own process guard.
+            # (Under a thread system executor batch-process sharding
+            # degrades to serial, so nothing crosses a pickle boundary
+            # and custom generators remain fine.)
+            self._check_process_compatible()
         targets = names if names is not None else self.systems
         systems = list(iter_systems(targets))
         started = time.perf_counter()
@@ -215,24 +251,56 @@ class CampaignPipeline:
         names = [name for name, _, _ in pending]
         if isinstance(executor, ProcessExecutor):
             self._check_process_compatible()
-            tasks = [(name, self.spex_options) for name in names]
-            return [
-                (report, duration)
-                for _, report, duration in executor.map(
-                    _run_campaign_by_name, tasks
-                )
+            # Only names cross the pickle boundary: an Executor
+            # *instance* is reduced to its strategy name and workers
+            # rebuild it (with this pipeline's max_workers).
+            batch_name = self._batch_executor_name()
+            tasks = [
+                (name, self.spex_options, batch_name, self.max_workers)
+                for name in names
             ]
-        return executor.map(self._run_one, names)
+            out = []
+            for _, report, duration, launch_stats in executor.map(
+                _run_campaign_by_name, tasks
+            ):
+                # Worker launch caches die with the worker; their
+                # hit/miss counters still belong in the report footer.
+                self.caches.launches.absorb_stats(launch_stats)
+                out.append((report, duration))
+            return out
+        batch_spec = self.batch_executor or "serial"
+        if isinstance(executor, ThreadExecutor) and (
+            batch_spec == "process" or isinstance(batch_spec, ProcessExecutor)
+        ):
+            # Forking a process pool from a multithreaded parent can
+            # inherit mid-held locks into the children; campaigns
+            # fanned out on threads shard their batches in-line.
+            batch_spec = "serial"
+        return executor.map(
+            lambda name: self._run_one(name, batch_spec), names
+        )
 
-    def _run_one(self, name: str) -> tuple[CampaignReport, float]:
+    def _batch_executor_name(self) -> str:
+        if self.batch_executor is None:
+            return "serial"
+        if isinstance(self.batch_executor, Executor):
+            return self.batch_executor.name
+        return self.batch_executor
+
+    def _run_one(
+        self, name: str, batch_executor: str | Executor = "serial"
+    ) -> tuple[CampaignReport, float]:
         """In-process task (serial and thread executors): campaigns
-        share the pipeline's inference cache directly."""
+        share the pipeline's inference and launch caches directly."""
         started = time.perf_counter()
         campaign = Campaign(
             get_system(name),
             generators=self.generators,
             spex_options=self.spex_options,
             inference_cache=self.caches.inference,
+            executor=batch_executor,
+            max_workers=self.max_workers,
+            launch_cache=self.caches.launches,
         )
         report = campaign.run()
         return report, time.perf_counter() - started

@@ -58,12 +58,15 @@ def render_pipeline_report(report: PipelineReport) -> str:
 def _footer(report: PipelineReport) -> str:
     inference = report.cache_stats.get("inference", {})
     campaigns = report.cache_stats.get("campaigns", {})
+    launches = report.cache_stats.get("launches", {})
     lines = [
         f"executor: {report.executor}; wall time: {report.wall_time:.2f}s; "
         f"{report.cached_count()}/{len(report.runs)} campaigns from cache",
         f"inference cache: {inference.get('hits', 0)} hits / "
         f"{inference.get('misses', 0)} misses; "
         f"campaign cache: {campaigns.get('hits', 0)} hits / "
-        f"{campaigns.get('misses', 0)} misses",
+        f"{campaigns.get('misses', 0)} misses; "
+        f"launch cache: {launches.get('hits', 0)} hits / "
+        f"{launches.get('misses', 0)} misses",
     ]
     return "\n".join(lines)

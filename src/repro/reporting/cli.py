@@ -36,7 +36,8 @@ def _usage() -> str:
         "  pipeline           run the batched multi-system campaign "
         "pipeline\n"
         "                     (--executor serial|thread|process, "
-        "--systems a,b, --workers N, --repeat N)\n"
+        "--batch-executor serial|thread|process,\n"
+        "                     --systems a,b, --workers N, --repeat N)\n"
         "  help               show this message\n"
     )
 
@@ -51,6 +52,15 @@ def _pipeline_command(args: list[str]) -> int:
     )
     parser.add_argument(
         "--executor", choices=list(executor_names()), default="serial"
+    )
+    parser.add_argument(
+        "--batch-executor",
+        choices=list(executor_names()),
+        default=None,
+        help=(
+            "shard each campaign's injection batches over this executor "
+            "(default: serial inside each campaign)"
+        ),
     )
     parser.add_argument(
         "--systems",
@@ -74,6 +84,7 @@ def _pipeline_command(args: list[str]) -> int:
         systems=names,
         executor=options.executor,
         max_workers=options.workers,
+        batch_executor=options.batch_executor,
     )
     report = None
     try:

@@ -10,7 +10,9 @@ time budget that turns infinite loops and absurd sleeps into *hangs*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.lang import types as ct
 from repro.lang.ast_nodes import (
@@ -105,6 +107,17 @@ class InterpreterOptions:
     # inside CPython's default recursion limit while still letting
     # runaway recursion manifest as a SIGSEGV-style fault.
     max_call_depth: int = 100
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every execution knob.
+
+        Two option sets with the same fingerprint run a program
+        identically, so the fingerprint is the options component of
+        the launch-cache key (`repro.pipeline.cache`).  `asdict`
+        recurses, so new knobs automatically invalidate old entries.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 
 from repro.lang.program import Program
@@ -47,11 +48,20 @@ class ProcessResult:
     def log_text(self) -> str:
         return "\n".join(f"[{r.stream}] {r.text}" for r in self.logs)
 
-    def logs_mention(self, needle: str) -> bool:
+    def logs_mention_word(self, needle: str) -> bool:
+        """Case-insensitive log search where the match must not sit
+        inside a longer alphanumeric token: "line 1" does not match
+        "line 12", and an injected value of "10" does not match
+        "3100".  The only log-matching API on purpose - a plain
+        substring variant gave pinpointing false credit (a 2-character
+        value matches almost any log line)."""
         if not needle:
             return False
-        needle_low = needle.lower()
-        return any(needle_low in record.text.lower() for record in self.logs)
+        pattern = re.compile(
+            r"(?<![0-9A-Za-z_])" + re.escape(needle) + r"(?![0-9A-Za-z_])",
+            re.IGNORECASE,
+        )
+        return any(pattern.search(record.text) for record in self.logs)
 
 
 def run_program(

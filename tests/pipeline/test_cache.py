@@ -157,7 +157,7 @@ class TestPipelineCaches:
     def test_stats_shape(self):
         caches = PipelineCaches()
         stats = caches.stats()
-        assert set(stats) == {"inference", "campaigns"}
+        assert set(stats) == {"inference", "campaigns", "launches"}
         assert stats["inference"] == {
             "hits": 0,
             "misses": 0,

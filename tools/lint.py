@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Dead-code lint for the repo, wired into `make lint` / `make test`.
+
+The authoritative checks are built on `ast` and need no third-party
+install (the CI image carries none), targeting the defect classes that
+have actually bitten this codebase:
+
+* ``dead-branch`` - an ``if`` whose taken and fallthrough paths both
+  ``return`` the *same* expression, making the condition dead.  The
+  `stop_at_first_failure` bug in ``repro.inject.harness`` (both sides
+  of the ``if`` returned ``verdict``) is the motivating instance.
+* ``self-compare`` - ``x == x`` / ``x is x`` comparisons, which are
+  tautologies (``!=`` is deliberately exempt: it is the NaN idiom).
+* ``assert-tuple`` - ``assert (expr, "msg")``, a non-empty tuple that
+  is always truthy.
+
+When ruff or pyflakes *is* installed, ``--external`` additionally runs
+it (ruff restricted to F-codes) for broader coverage; absence of both
+is never an error, so the default `make test` path stays hermetic.
+
+Usage::
+
+    python tools/lint.py [--external] [paths...]
+
+Default paths: src tools benchmarks tests examples.  Exit status 1 if
+any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ["src", "tools", "benchmarks", "tests", "examples"]
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def _stmt_lists(tree: ast.AST):
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, attr, None)
+            if isinstance(stmts, list) and stmts and isinstance(
+                stmts[0], ast.stmt
+            ):
+                yield stmts
+
+
+def _is_lone_return(stmts: list[ast.stmt]) -> ast.Return | None:
+    if len(stmts) == 1 and isinstance(stmts[0], ast.Return):
+        return stmts[0]
+    return None
+
+
+def _same_node(a: ast.AST | None, b: ast.AST | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return ast.dump(a) == ast.dump(b)
+
+
+def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
+    findings = []
+
+    def report(node: ast.AST, code: str, message: str) -> None:
+        findings.append((path, node.lineno, code, message))
+
+    for stmts in _stmt_lists(tree):
+        for current, following in zip(stmts, stmts[1:] + [None]):
+            if not isinstance(current, ast.If):
+                continue
+            taken = _is_lone_return(current.body)
+            if taken is None:
+                continue
+            if current.orelse:
+                other = _is_lone_return(current.orelse)
+            elif isinstance(following, ast.Return):
+                other = following
+            else:
+                other = None
+            if other is not None and _same_node(taken.value, other.value):
+                report(
+                    current,
+                    "dead-branch",
+                    "both paths of this `if` return the same expression; "
+                    "the condition is dead",
+                )
+
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.Eq, ast.Is))
+            and _same_node(node.left, node.comparators[0])
+            # Calls/attributes may be effectful or non-deterministic;
+            # only literal self-comparison of plain names is flagged.
+            and isinstance(node.left, (ast.Name, ast.Constant))
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "self-compare",
+                    "comparison of an expression with itself is always "
+                    "the same verdict",
+                )
+            )
+        if isinstance(node, ast.Assert) and isinstance(node.test, ast.Tuple):
+            if node.test.elts:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "assert-tuple",
+                        "assert on a non-empty tuple is always true "
+                        "(parenthesized assert with message?)",
+                    )
+                )
+
+    return findings
+
+
+def run_builtin(files: list[Path]) -> int:
+    failures = 0
+    for path in files:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            print(f"{path}:{exc.lineno}: syntax-error: {exc.msg}")
+            failures += 1
+            continue
+        for found_path, line, code, message in check_tree(path, tree):
+            print(f"{found_path}:{line}: {code}: {message}")
+            failures += 1
+    return failures
+
+
+def run_external(paths: list[str]) -> int:
+    """Run ruff (F-codes) or pyflakes when available; 0 when neither
+    is installed - the built-in checks remain the hermetic baseline."""
+    if shutil.which("ruff"):
+        return subprocess.call(["ruff", "check", "--select", "F", *paths])
+    try:
+        import pyflakes  # noqa: F401
+    except ImportError:
+        print("lint: no external linter installed (ruff/pyflakes); skipped")
+        return 0
+    return subprocess.call([sys.executable, "-m", "pyflakes", *paths])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    parser.add_argument(
+        "--external",
+        action="store_true",
+        help="also run ruff/pyflakes if installed",
+    )
+    options = parser.parse_args(argv)
+    paths = options.paths or DEFAULT_PATHS
+    files = iter_python_files(paths)
+    if not files:
+        print(f"lint: no python files under {paths}", file=sys.stderr)
+        return 2
+    failures = run_builtin(files)
+    status = 1 if failures else 0
+    if options.external:
+        status = max(status, 1 if run_external(paths) else 0)
+    if failures:
+        print(f"lint: {failures} finding(s) in {len(files)} files")
+    else:
+        print(f"lint: ok ({len(files)} files)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
