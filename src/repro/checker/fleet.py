@@ -1,0 +1,568 @@
+"""Fleet-scale config validation: shard a synthetic corpus over the
+pipeline executors.
+
+`run_fleet` is the third pillar's throughput layer (infer -> inject ->
+**check**): per system it compiles (or fetches, content-addressed) the
+constraint checker, then streams the seeded synthetic corpus through
+it in chunks, fanned out over the same serial / thread / process
+executor abstraction the campaign pipeline uses.  Each config's
+outcome is compared against the corpus's planted ground truth, giving
+per-system precision/recall (`repro.core.accuracy.PrecisionRecall`),
+and a seeded sample of flagged configs is ground-truthed against the
+injection harness: a flag only counts as *confirmed* when the
+interpreter observably misbehaves (or pinpoints the mistake) under the
+very same config.
+
+Process sharding follows the campaign pipeline's honesty rules: tasks
+carry (system name, options, chunk range, pool digest), workers
+regenerate their shard deterministically and verify the digest before
+validating, and fork-started workers inherit the parent's inference
+result through a pre-fork seed so they never re-infer.
+
+Usage::
+
+    from repro.checker import run_fleet
+
+    report = run_fleet(size=1500, executor="process")
+    report.total_configs, report.throughput()
+    for result in report.results:
+        print(result.name, result.scores.precision, result.scores.recall)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.accuracy import PrecisionRecall, precision_recall
+from repro.core.engine import SpexOptions
+from repro.checker.compile import CompiledChecker, checker_for_system
+from repro.checker.corpus import (
+    DEFAULT_MISTAKE_RATE,
+    SyntheticConfig,
+    corpus_pool,
+    generate_config,
+    iter_corpus,
+    mistake_mix,
+    pool_digest,
+)
+from repro.checker.validate import validate_config
+
+DEFAULT_CHUNK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ConfigOutcome:
+    """What the checker said about one fleet member (compact: this is
+    what crosses process boundaries, thousands at a time)."""
+
+    index: int
+    config_id: str
+    planted_kind: str | None
+    flagged: bool
+    errors: int
+    warnings: int
+    error_kinds: tuple[str, ...]
+
+    @property
+    def is_mistaken(self) -> bool:
+        return self.planted_kind is not None
+
+
+@dataclass
+class SystemFleetResult:
+    """One system's slice of a fleet run."""
+
+    name: str
+    corpus_size: int
+    planted: int
+    flagged: int
+    errors: int
+    warnings: int
+    by_kind: dict[str, int]
+    scores: PrecisionRecall
+    duration: float  # summed chunk-validation time (CPU-side)
+    checker_from_cache: bool = False
+
+    def summary_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "corpus_size": self.corpus_size,
+            "planted": self.planted,
+            "flagged": self.flagged,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "scores": self.scores.summary_dict(),
+            "duration": self.duration,
+            "checker_from_cache": self.checker_from_cache,
+        }
+
+
+@dataclass
+class AgreementReport:
+    """Interpreter ground-truthing of a flagged-config sample."""
+
+    sampled: int = 0
+    confirmed: int = 0  # interpreter misbehaved or pinpointed the flag
+    refuted: int = 0  # interpreter accepted the config silently
+    details: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def confirmed_fraction(self) -> float:
+        return self.confirmed / self.sampled if self.sampled else 0.0
+
+    def summary_dict(self) -> dict:
+        return {
+            "sampled": self.sampled,
+            "confirmed": self.confirmed,
+            "refuted": self.refuted,
+            "confirmed_fraction": self.confirmed_fraction,
+            "details": [list(d) for d in self.details],
+        }
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one fleet validation run."""
+
+    results: list[SystemFleetResult]
+    executor: str
+    # Generation + validation wall clock; the optional interpreter
+    # agreement phase is deliberately outside it (see `run_fleet`).
+    wall_time: float
+    seed: int
+    mistake_rate: float
+    chunk_size: int
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    agreement: AgreementReport | None = None
+
+    @property
+    def total_configs(self) -> int:
+        return sum(r.corpus_size for r in self.results)
+
+    def total_flagged(self) -> int:
+        return sum(r.flagged for r in self.results)
+
+    def throughput(self) -> float:
+        """Configs validated per wall-clock second."""
+        return self.total_configs / self.wall_time if self.wall_time else 0.0
+
+    def scores(self) -> PrecisionRecall:
+        total = PrecisionRecall()
+        for result in self.results:
+            total = total + result.scores
+        return total
+
+    def result_for(self, name: str) -> SystemFleetResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def summary_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "wall_time": self.wall_time,
+            "seed": self.seed,
+            "mistake_rate": self.mistake_rate,
+            "chunk_size": self.chunk_size,
+            "total_configs": self.total_configs,
+            "throughput": self.throughput(),
+            "scores": self.scores().summary_dict(),
+            "systems": [r.summary_dict() for r in self.results],
+            "cache_stats": self.cache_stats,
+            "agreement": (
+                self.agreement.summary_dict() if self.agreement else None
+            ),
+        }
+
+
+@dataclass
+class _SystemContext:
+    """Parent-side per-system state for one fleet run."""
+
+    system: object
+    checker: CompiledChecker
+    pool: dict
+    digest: str
+    mix: dict[str, float]
+    template: object
+    from_cache: bool
+
+
+def run_fleet(
+    systems: list[str] | None = None,
+    size: int = 200,
+    seed: int = 0,
+    mistake_rate: float = DEFAULT_MISTAKE_RATE,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    spex_options: SpexOptions | None = None,
+    caches=None,
+    agreement_sample: int = 0,
+) -> FleetReport:
+    """Validate `size` synthetic configs per target system.
+
+    Diagnostics are deterministic for a fixed (seed, systems, size,
+    mistake_rate) regardless of executor: chunk results fold back in
+    submission order and each config is a pure function of its index.
+    """
+    from repro.pipeline.cache import PipelineCaches
+    from repro.pipeline.executor import ProcessExecutor, resolve_executor
+    from repro.systems.registry import iter_systems
+
+    caches = caches if caches is not None else PipelineCaches()
+    options = spex_options or SpexOptions()
+    chosen = resolve_executor(executor, max_workers)
+    chunk_size = max(1, chunk_size)
+    started = time.perf_counter()
+
+    contexts: dict[str, _SystemContext] = {}
+    tasks: list[tuple[str, int, int]] = []  # (system, start, count)
+    for system in iter_systems(systems):
+        before = caches.checkers.stats.snapshot()
+        checker = checker_for_system(system, options, caches=caches)
+        from_cache = caches.checkers.stats.hits > before["hits"]
+        # peek, not get: compilation already populated this entry, and
+        # the footer's hit counters must reflect avoided inference
+        # runs, not this bookkeeping read.
+        spex_report = caches.inference.peek(
+            caches.inference.key_for(system, options)
+        )
+        if spex_report is None:  # pragma: no cover - cache contract
+            raise RuntimeError(
+                f"inference result for {system.name} missing after "
+                "checker compilation"
+            )
+        pool = corpus_pool(spex_report, system)
+        contexts[system.name] = _SystemContext(
+            system=system,
+            checker=checker,
+            pool=pool,
+            digest=pool_digest(pool),
+            mix=mistake_mix(system.name),
+            template=system.template_ar(),
+            from_cache=from_cache,
+        )
+        for start in range(0, size, chunk_size):
+            tasks.append(
+                (system.name, start, min(chunk_size, size - start))
+            )
+
+    if isinstance(chosen, ProcessExecutor) and len(tasks) > 1:
+        chunk_results = _run_chunks_in_processes(
+            chosen, contexts, tasks, options, seed, mistake_rate, caches
+        )
+    else:
+        chunk_results = chosen.map(
+            lambda task: _validate_chunk_inline(
+                contexts[task[0]], task, seed, mistake_rate
+            ),
+            tasks,
+        )
+
+    # Fold chunk results back in submission order (determinism) while
+    # streaming per-system tallies instead of keeping every outcome.
+    folds: dict[str, _SystemFold] = {
+        name: _SystemFold() for name in contexts
+    }
+    for (name, _, _), (outcomes, duration) in zip(tasks, chunk_results):
+        folds[name].absorb(outcomes, duration)
+
+    results = [
+        fold.result(name, contexts[name].from_cache)
+        for name, fold in folds.items()
+    ]
+    # Throughput is a *checking* claim: stop the clock before the
+    # optional interpreter ground-truthing, whose harness launches
+    # would otherwise dominate small fleets' configs/s.
+    wall_time = time.perf_counter() - started
+    agreement = None
+    if agreement_sample > 0:
+        agreement = ground_truth_agreement(
+            contexts, folds, seed, mistake_rate, agreement_sample, caches
+        )
+    return FleetReport(
+        results=results,
+        executor=chosen.name,
+        wall_time=wall_time,
+        seed=seed,
+        mistake_rate=mistake_rate,
+        chunk_size=chunk_size,
+        cache_stats=caches.stats(),
+        agreement=agreement,
+    )
+
+
+class _SystemFold:
+    """Streaming accumulator for one system's chunk results."""
+
+    def __init__(self) -> None:
+        self.corpus_size = 0
+        self.planted = 0
+        self.errors = 0
+        self.warnings = 0
+        self.by_kind: dict[str, int] = {}
+        self.duration = 0.0
+        self.flagged_ids: list[str] = []
+        self.planted_ids: list[str] = []
+        self.flagged_mistaken: list[ConfigOutcome] = []
+
+    def absorb(self, outcomes: list[ConfigOutcome], duration: float) -> None:
+        self.duration += duration
+        for outcome in outcomes:
+            self.corpus_size += 1
+            self.errors += outcome.errors
+            self.warnings += outcome.warnings
+            for kind in outcome.error_kinds:
+                self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            if outcome.is_mistaken:
+                self.planted += 1
+                self.planted_ids.append(outcome.config_id)
+            if outcome.flagged:
+                self.flagged_ids.append(outcome.config_id)
+                if outcome.is_mistaken:
+                    self.flagged_mistaken.append(outcome)
+
+    def result(self, name: str, from_cache: bool) -> SystemFleetResult:
+        return SystemFleetResult(
+            name=name,
+            corpus_size=self.corpus_size,
+            planted=self.planted,
+            flagged=len(self.flagged_ids),
+            errors=self.errors,
+            warnings=self.warnings,
+            by_kind=self.by_kind,
+            scores=precision_recall(self.flagged_ids, self.planted_ids),
+            duration=self.duration,
+            checker_from_cache=from_cache,
+        )
+
+
+def _outcome_of(config: SyntheticConfig, report) -> ConfigOutcome:
+    return ConfigOutcome(
+        index=config.index,
+        config_id=config.config_id,
+        planted_kind=config.mistake_kind,
+        flagged=report.flagged,
+        errors=len(report.errors()),
+        warnings=len(report.warnings()),
+        error_kinds=report.kinds_flagged(),
+    )
+
+
+def _validate_chunk_inline(
+    context: _SystemContext,
+    task: tuple[str, int, int],
+    seed: int,
+    mistake_rate: float,
+) -> tuple[list[ConfigOutcome], float]:
+    """Serial/thread chunk task: share the parent's compiled checker
+    directly (closures are pure, so threads are safe)."""
+    _, start, count = task
+    begun = time.perf_counter()
+    outcomes = []
+    for config in iter_corpus(
+        context.system,
+        context.pool,
+        count,
+        seed=seed,
+        mistake_rate=mistake_rate,
+        mix=context.mix,
+        start=start,
+        template=context.template,
+    ):
+        outcomes.append(
+            _outcome_of(config, validate_config(context.checker, config.text))
+        )
+    return outcomes, time.perf_counter() - begun
+
+
+# -- interpreter ground-truthing ---------------------------------------------
+
+
+def ground_truth_agreement(
+    contexts: dict[str, _SystemContext],
+    folds: dict[str, "_SystemFold"],
+    seed: int,
+    mistake_rate: float,
+    sample_size: int,
+    caches,
+) -> AgreementReport:
+    """Re-test a seeded sample of flagged configs under the injection
+    harness.  A flag is *confirmed* when the interpreter observably
+    reacts to the planted mistake - a bad reaction (crash, early
+    termination, functional failure, silent violation/ignorance) or a
+    pinpointing rejection; it is *refuted* only when the system accepts
+    the config with no observable effect, meaning the checker cried
+    wolf."""
+    from repro.inject.harness import InjectionHarness
+
+    candidates: list[tuple[str, ConfigOutcome]] = []
+    for name in sorted(folds):
+        for outcome in folds[name].flagged_mistaken:
+            candidates.append((name, outcome))
+    rng = random.Random(f"fleet-agreement|{seed}")
+    if len(candidates) > sample_size:
+        candidates = rng.sample(candidates, sample_size)
+
+    report = AgreementReport()
+    harnesses: dict[str, InjectionHarness] = {}
+    for name, outcome in candidates:
+        context = contexts[name]
+        config = generate_config(
+            name,
+            context.pool,
+            context.template,
+            context.mix,
+            seed,
+            outcome.index,
+            mistake_rate,
+        )
+        if config.mistake is None:  # pragma: no cover - determinism guard
+            raise RuntimeError(
+                f"regenerated config {outcome.config_id} lost its planted "
+                "mistake; corpus generation is no longer deterministic"
+            )
+        harness = harnesses.get(name)
+        if harness is None:
+            harness = harnesses[name] = InjectionHarness(
+                context.system, launch_cache=caches.launches
+            )
+        verdict = harness.test_misconfiguration(config.mistake)
+        misbehaved = (
+            verdict.reaction.is_vulnerability or verdict.reaction.pinpointed
+        )
+        report.sampled += 1
+        if misbehaved:
+            report.confirmed += 1
+        else:
+            report.refuted += 1
+        report.details.append(
+            (
+                outcome.config_id,
+                str(verdict.reaction.category),
+                verdict.reaction.detail,
+            )
+        )
+    return report
+
+
+# -- process-executor fleet workers ------------------------------------------
+#
+# Mirrors `repro.inject.campaign`'s worker design: the parent plants
+# pure seed data (the inference result) in module state right before
+# the pool forks; each worker privately memoizes its rebuilt context
+# (checker, pool, template) so serving many chunks pays the rebuild
+# once, and verifies the pool digest so a divergent re-inference fails
+# loudly instead of planting different mistakes.
+
+_FLEET_SEEDS: dict[tuple[str, str], object] = {}
+_FLEET_CONTEXTS: dict[tuple[str, str], tuple] = {}
+
+
+def _run_chunks_in_processes(
+    executor,
+    contexts: dict[str, _SystemContext],
+    tasks: list[tuple[str, int, int]],
+    options: SpexOptions,
+    seed: int,
+    mistake_rate: float,
+    caches,
+) -> list[tuple[list[ConfigOutcome], float]]:
+    options_fp = options.fingerprint()
+    seed_keys = []
+    for name, context in contexts.items():
+        key = (name, options_fp)
+        spex_report = caches.inference.peek(
+            caches.inference.key_for(context.system, options)
+        )
+        _FLEET_SEEDS[key] = spex_report
+        seed_keys.append(key)
+    worker_tasks = [
+        (
+            name,
+            options,
+            seed,
+            mistake_rate,
+            start,
+            count,
+            contexts[name].digest,
+            tuple(sorted(contexts[name].mix.items())),
+        )
+        for name, start, count in tasks
+    ]
+    try:
+        raw = executor.map(_validate_chunk_by_name, worker_tasks)
+    finally:
+        for key in seed_keys:
+            _FLEET_SEEDS.pop(key, None)
+    out: list[tuple[list[ConfigOutcome], float]] = []
+    for outcomes, duration, checker_delta in raw:
+        caches.checkers.absorb_stats(checker_delta)
+        out.append((outcomes, duration))
+    return out
+
+
+def _fleet_worker_context(name: str, options: SpexOptions):
+    from repro.inject.campaign import Campaign
+    from repro.systems.registry import get_system
+
+    key = (name, options.fingerprint())
+    context = _FLEET_CONTEXTS.get(key)
+    if context is not None:
+        return context + ({"hits": 1},)
+    system = get_system(name)
+    spex_report = _FLEET_SEEDS.get(key)
+    if spex_report is None:
+        # Spawn start method (or a cold worker): recompute; the pool
+        # digest check below catches any hash-seed divergence.
+        spex_report = Campaign(system, spex_options=options).run_spex()
+    from repro.checker.compile import compile_checker
+
+    checker = compile_checker(spex_report, system)
+    pool = corpus_pool(spex_report, system)
+    context = (system, checker, pool, pool_digest(pool), system.template_ar())
+    _FLEET_CONTEXTS[key] = context
+    return context + ({"misses": 1},)
+
+
+def _validate_chunk_by_name(task):
+    """Process-pool entry point for one corpus chunk.
+
+    Returns (outcomes, chunk duration, checker-cache stats delta);
+    outcomes are compact value objects, so no slimming is needed."""
+    (
+        name,
+        options,
+        seed,
+        mistake_rate,
+        start,
+        count,
+        parent_digest,
+        mix_items,
+    ) = task
+    system, checker, pool, digest, template, stats_delta = (
+        _fleet_worker_context(name, options)
+    )
+    if digest != parent_digest:
+        raise RuntimeError(
+            f"worker rebuilt a divergent mistake pool for {name}: the "
+            "plantable misconfigurations do not match what the parent "
+            "sampled from (re-inference is sensitive to the interpreter "
+            "hash seed; use a fork start method or set PYTHONHASHSEED)"
+        )
+    mix = dict(mix_items)
+    begun = time.perf_counter()
+    outcomes = []
+    for index in range(start, start + count):
+        config = generate_config(
+            name, pool, template, mix, seed, index, mistake_rate
+        )
+        outcomes.append(
+            _outcome_of(config, validate_config(checker, config.text))
+        )
+    return outcomes, time.perf_counter() - begun, stats_delta

@@ -3,11 +3,16 @@
 The paper's authors "manually and carefully examined all of the 3800
 constraints" - here each subject system ships a ground-truth constraint
 list, and accuracy per kind = true inferred / all inferred.
+
+The same module carries the generic `PrecisionRecall` scorer the
+fleet-scale config checker grounds itself with: predicted-bad configs
+versus actually-bad configs over a synthetic corpus.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Hashable, Iterable
 
 from repro.core.constraints import (
     BasicTypeConstraint,
@@ -97,6 +102,62 @@ class AccuracyReport:
         if total == 0:
             return None
         return true_total / total
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Binary-classification agreement between a predictor and truth."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float | None:
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else None
+
+    @property
+    def recall(self) -> float | None:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else None
+
+    @property
+    def f1(self) -> float | None:
+        p, r = self.precision, self.recall
+        if p is None or r is None or (p + r) == 0:
+            return None
+        return 2 * p * r / (p + r)
+
+    def __add__(self, other: "PrecisionRecall") -> "PrecisionRecall":
+        return PrecisionRecall(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+    def summary_dict(self) -> dict:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def precision_recall(
+    predicted: Iterable[Hashable], actual: Iterable[Hashable]
+) -> PrecisionRecall:
+    """Score a predicted-positive set against the actual-positive set
+    (e.g. checker-flagged config ids against planted-mistake ids)."""
+    predicted_set, actual_set = set(predicted), set(actual)
+    return PrecisionRecall(
+        true_positives=len(predicted_set & actual_set),
+        false_positives=len(predicted_set - actual_set),
+        false_negatives=len(actual_set - predicted_set),
+    )
 
 
 def score_accuracy(

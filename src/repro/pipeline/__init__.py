@@ -20,6 +20,7 @@ from repro.pipeline.cache import (
     LaunchCache,
     PipelineCaches,
     campaign_fingerprint,
+    checker_fingerprint,
     launch_fingerprint,
     spex_fingerprint,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "SystemRun",
     "ThreadExecutor",
     "campaign_fingerprint",
+    "checker_fingerprint",
     "executor_names",
     "launch_fingerprint",
     "resolve_executor",

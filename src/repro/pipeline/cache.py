@@ -130,6 +130,13 @@ class ContentCache(Generic[T]):
                 self.stats.hits += 1
             return value
 
+    def peek(self, key: str) -> T | None:
+        """Read without touching the hit/miss counters - for
+        bookkeeping reads of entries some earlier call populated (the
+        counters exist to measure *work avoided*, not lookups)."""
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: str, value: T) -> T:
         with self._lock:
             self._entries[key] = value
@@ -248,17 +255,40 @@ class LaunchCache(ContentCache):
         )
 
 
+def checker_fingerprint(
+    spex_key: str, default_config: str, dialect_repr: str
+) -> str:
+    """Key of one compiled config checker (`repro.checker.compile`):
+    the inference fingerprint plus everything else compilation reads -
+    the vendor template (calibration baseline and cross-parameter
+    defaults) and the config dialect."""
+    digest = hashlib.sha256()
+    digest.update(spex_key.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(default_config.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(dialect_repr.encode("utf-8"))
+    return digest.hexdigest()
+
+
 @dataclass
 class PipelineCaches:
-    """The cache trio one pipeline (or several, sharing) uses."""
+    """The cache layers one pipeline (or several, sharing) uses.
+
+    `checkers` holds `CompiledChecker`s keyed by `checker_fingerprint`
+    - the fleet validator's layer: re-checking a config fleet against
+    an unchanged program re-infers and re-compiles nothing.
+    """
 
     inference: InferenceCache = field(default_factory=InferenceCache)
     campaigns: ContentCache = field(default_factory=ContentCache)
     launches: LaunchCache = field(default_factory=LaunchCache)
+    checkers: ContentCache = field(default_factory=ContentCache)
 
     def stats(self) -> dict[str, dict[str, int]]:
         return {
             "inference": self.inference.stats.snapshot(),
             "campaigns": self.campaigns.stats.snapshot(),
             "launches": self.launches.stats.snapshot(),
+            "checkers": self.checkers.stats.snapshot(),
         }

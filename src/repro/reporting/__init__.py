@@ -1,13 +1,19 @@
 """Evaluation driver: regenerates every table and figure of §4, plus
 the aggregate view of batched multi-system pipeline runs."""
 
-from repro.reporting.aggregate import render_pipeline_report
+from repro.reporting.aggregate import (
+    render_fleet_report,
+    render_pipeline_report,
+    render_validation_report,
+)
 from repro.reporting.evalrun import Evaluation, SystemResult
 from repro.reporting.tables import render_table
 
 __all__ = [
     "Evaluation",
     "SystemResult",
+    "render_fleet_report",
     "render_pipeline_report",
     "render_table",
+    "render_validation_report",
 ]

@@ -1,15 +1,25 @@
-"""Aggregate multi-system pipeline report rendering.
+"""Aggregate multi-system report rendering.
 
 Renders one `repro.pipeline.PipelineReport` as a Table 5-style
 cross-system summary plus an execution footer (executor, wall time,
-cache behaviour) - the operator's view of a batched sweep.
+cache behaviour) - the operator's view of a batched sweep - and one
+`repro.checker.FleetReport` as the corresponding fleet-validation
+summary (per-system precision/recall, throughput, interpreter
+agreement).  `render_validation_report` is the single-config view the
+`check` CLI command prints.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.inject.reactions import ReactionCategory
 from repro.pipeline.runner import PipelineReport
 from repro.reporting.tables import render_table
+
+if TYPE_CHECKING:  # keep table-only CLI invocations import-light
+    from repro.checker.fleet import FleetReport
+    from repro.checker.validate import ValidationReport
 
 _CATEGORIES = [
     ReactionCategory.CRASH_HANG,
@@ -53,6 +63,97 @@ def render_pipeline_report(report: PipelineReport) -> str:
         rows,
     )
     return table + "\n" + _footer(report)
+
+
+def render_fleet_report(report: FleetReport) -> str:
+    """The fleet-validation table plus a throughput/agreement footer."""
+    rows = []
+    totals = [0, 0, 0, 0, 0]
+    for result in report.results:
+        rows.append(
+            [
+                result.name,
+                result.corpus_size,
+                result.planted,
+                result.flagged,
+                result.errors,
+                result.warnings,
+                _pct(result.scores.precision),
+                _pct(result.scores.recall),
+                "cache" if result.checker_from_cache else "compiled",
+            ]
+        )
+        totals[0] += result.corpus_size
+        totals[1] += result.planted
+        totals[2] += result.flagged
+        totals[3] += result.errors
+        totals[4] += result.warnings
+    scores = report.scores()
+    rows.append(
+        [
+            "Total",
+            *totals,
+            _pct(scores.precision),
+            _pct(scores.recall),
+            "",
+        ]
+    )
+    table = render_table(
+        "Fleet: constraint-checked synthetic user configs",
+        [
+            "System",
+            "Configs",
+            "Planted",
+            "Flagged",
+            "Errors",
+            "Warnings",
+            "Precision",
+            "Recall",
+            "Checker",
+        ],
+        rows,
+    )
+    checkers = report.cache_stats.get("checkers", {})
+    inference = report.cache_stats.get("inference", {})
+    lines = [
+        table,
+        f"executor: {report.executor}; wall time: {report.wall_time:.2f}s; "
+        f"{report.throughput():.0f} configs/s "
+        f"(seed {report.seed}, mistake rate {report.mistake_rate:.2f})",
+        f"checker cache: {checkers.get('hits', 0)} hits / "
+        f"{checkers.get('misses', 0)} misses; "
+        f"inference cache: {inference.get('hits', 0)} hits / "
+        f"{inference.get('misses', 0)} misses",
+    ]
+    if report.agreement is not None:
+        agreement = report.agreement
+        lines.append(
+            f"interpreter agreement: {agreement.confirmed}/"
+            f"{agreement.sampled} flagged configs confirmed misbehaving "
+            f"({agreement.refuted} tolerated by the runtime today)"
+        )
+    return "\n".join(lines)
+
+
+def render_validation_report(report: ValidationReport) -> str:
+    """One config file's diagnostics, human-first."""
+    lines = [
+        f"{report.system}: {report.parameters_checked} of "
+        f"{report.parameters_present} parameters covered by compiled "
+        "constraints"
+    ]
+    if not report.diagnostics:
+        lines.append("no problems found")
+        return "\n".join(lines)
+    for diagnostic in report.diagnostics:
+        lines.append(diagnostic.describe())
+    errors, warnings = len(report.errors()), len(report.warnings())
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def _pct(fraction: float | None) -> str:
+    return "n/a" if fraction is None else f"{100 * fraction:.1f}%"
 
 
 def _footer(report: PipelineReport) -> str:

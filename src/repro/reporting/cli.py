@@ -1,19 +1,23 @@
-"""Command-line interface: regenerate tables/figures, run the pipeline.
+"""Command-line interface: regenerate tables/figures, run the
+pipeline, check config files, validate synthetic fleets.
 
 Usage::
 
     python -m repro.reporting.cli            # everything (§4)
     python -m repro.reporting.cli table5a    # one table
     python -m repro.reporting.cli figure3 table11
-    python -m repro.reporting.cli pipeline --executor process
-    python -m repro.reporting.cli pipeline --systems apache,squid --repeat 2
+    python -m repro.reporting.cli pipeline --executor process --json
+    python -m repro.reporting.cli check mysql /path/to/my.cnf
+    python -m repro.reporting.cli fleet --size 1500 --executor process
 
-Unknown subcommands exit with status 2 and print this command list.
+Unknown subcommands exit with status 2 and print this command list;
+`check` exits 1 when the config has errors, 0 when it is clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.reporting.evalrun import Evaluation
@@ -37,7 +41,19 @@ def _usage() -> str:
         "pipeline\n"
         "                     (--executor serial|thread|process, "
         "--batch-executor serial|thread|process,\n"
-        "                     --systems a,b, --workers N, --repeat N)\n"
+        "                     --systems a,b, --workers N, --repeat N, "
+        "--json)\n"
+        "  check SYSTEM FILE  validate one config file against the "
+        "system's\n"
+        "                     inferred constraints (exit 1 on errors; "
+        "--json)\n"
+        "  fleet              validate a synthetic user-config fleet "
+        "per system\n"
+        "                     (--systems a,b, --size N, --seed N, "
+        "--mistake-rate F,\n"
+        "                     --executor serial|thread|process, "
+        "--workers N,\n"
+        "                     --chunk N, --sample N, --json)\n"
         "  help               show this message\n"
     )
 
@@ -74,6 +90,11 @@ def _pipeline_command(args: list[str]) -> int:
         default=1,
         help="run the sweep N times (re-runs hit the caches)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of the table",
+    )
     try:
         options = parser.parse_args(args)
     except SystemExit as exc:
@@ -93,7 +114,123 @@ def _pipeline_command(args: list[str]) -> int:
     except KeyError as exc:  # unknown system, from the registry
         print(exc.args[0], file=sys.stderr)
         return 2
-    print(render_pipeline_report(report))
+    if options.json:
+        print(json.dumps(report.summary_dict(), indent=2))
+    else:
+        print(render_pipeline_report(report))
+    return 0
+
+
+def _check_command(args: list[str]) -> int:
+    from repro.checker import checker_for_system, validate_config
+    from repro.reporting.aggregate import render_validation_report
+    from repro.systems.registry import get_system, is_registered, system_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.cli check",
+        description=(
+            "Validate one configuration file against a system's "
+            "inferred constraints."
+        ),
+    )
+    parser.add_argument("system")
+    parser.add_argument("config_file")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of diagnostics",
+    )
+    try:
+        options = parser.parse_args(args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if not is_registered(options.system):
+        print(
+            f"unknown system {options.system!r}; registered: "
+            f"{', '.join(system_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(options.config_file, "r", encoding="utf-8") as handle:
+            config_text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {options.config_file}: {exc}", file=sys.stderr)
+        return 2
+    checker = checker_for_system(get_system(options.system))
+    report = validate_config(checker, config_text)
+    if options.json:
+        print(json.dumps(report.summary_dict(), indent=2))
+    else:
+        print(render_validation_report(report))
+    return 1 if report.flagged else 0
+
+
+def _fleet_command(args: list[str]) -> int:
+    from repro.checker import run_fleet
+    from repro.checker.corpus import DEFAULT_MISTAKE_RATE
+    from repro.checker.fleet import DEFAULT_CHUNK_SIZE
+    from repro.pipeline import executor_names
+    from repro.reporting.aggregate import render_fleet_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.cli fleet",
+        description=(
+            "Generate a synthetic user-config fleet per system and "
+            "validate it against compiled constraints."
+        ),
+    )
+    parser.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated subset (default: all registered systems)",
+    )
+    parser.add_argument("--size", type=int, default=200,
+                        help="configs per system")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mistake-rate", type=float, default=DEFAULT_MISTAKE_RATE
+    )
+    parser.add_argument(
+        "--executor", choices=list(executor_names()), default="serial"
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--chunk", type=int, default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="ground-truth this many flagged configs under the "
+        "injection harness",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of the table",
+    )
+    try:
+        options = parser.parse_args(args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    names = options.systems.split(",") if options.systems else None
+    try:
+        report = run_fleet(
+            systems=names,
+            size=options.size,
+            seed=options.seed,
+            mistake_rate=options.mistake_rate,
+            executor=options.executor,
+            max_workers=options.workers,
+            chunk_size=options.chunk,
+            agreement_sample=options.sample,
+        )
+    except KeyError as exc:  # unknown system, from the registry
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if options.json:
+        print(json.dumps(report.summary_dict(), indent=2))
+    else:
+        print(render_fleet_report(report))
     return 0
 
 
@@ -104,6 +241,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args and args[0] == "pipeline":
         return _pipeline_command(args[1:])
+    if args and args[0] == "check":
+        return _check_command(args[1:])
+    if args and args[0] == "fleet":
+        return _fleet_command(args[1:])
     if not args or args == ["all"]:
         print(Evaluation.shared().all_tables())
         return 0

@@ -123,7 +123,7 @@ class EmulatedOS:
         if name in self.hosts:
             return self.hosts[name]
         # Dotted-quad literals resolve to themselves when valid.
-        if _valid_ipv4(name):
+        if valid_ipv4(name):
             return name
         return None
 
@@ -163,7 +163,9 @@ class EmulatedOS:
         return "\n".join(str(r) for r in self.logs)
 
 
-def _valid_ipv4(text: str) -> bool:
+def valid_ipv4(text: str) -> bool:
+    """Strict dotted-quad check, shared with the config checker's
+    IP/hostname semantic validators so the two layers cannot drift."""
     parts = text.split(".")
     if len(parts) != 4:
         return False

@@ -1,0 +1,197 @@
+"""Unit tests for constraint-to-validator compilation."""
+
+import pytest
+
+from repro.checker import checker_for_system, validate_config
+from repro.checker.compile import EnvView, compile_checker
+from repro.inject.campaign import Campaign
+from repro.pipeline import PipelineCaches
+from repro.systems import get_system
+
+
+@pytest.fixture(scope="module")
+def caches():
+    return PipelineCaches()
+
+
+@pytest.fixture(scope="module")
+def mysql_checker(caches):
+    return checker_for_system(get_system("mysql"), caches=caches)
+
+
+class TestCompile:
+    def test_compiles_every_constraint_kind(self, mysql_checker):
+        assert mysql_checker.constraints_compiled > 20
+        assert mysql_checker.param_validators  # basic/semantic/range
+        assert mysql_checker.pair_validators  # ctrl-dep/value-rel
+
+    def test_default_config_validates_clean(self, mysql_checker):
+        report = validate_config(
+            mysql_checker, get_system("mysql").default_config
+        )
+        assert not report.flagged
+        assert report.diagnostics == []  # calibration suppressed the rest
+
+    def test_calibration_recorded(self, caches):
+        checker = checker_for_system(get_system("squid"), caches=caches)
+        # Whatever the template trips is recorded, suppressed, and
+        # exactly mirrors the suppression set.
+        assert checker.suppressed == frozenset(
+            d.suppression_key for d in checker.calibration
+        )
+
+    def test_checker_cache_hit_returns_same_object(self, caches):
+        system = get_system("mysql")
+        first = checker_for_system(system, caches=caches)
+        hits_before = caches.checkers.stats.hits
+        second = checker_for_system(system, caches=caches)
+        assert second is first
+        assert caches.checkers.stats.hits == hits_before + 1
+
+    def test_known_params_cover_template(self, mysql_checker):
+        system = get_system("mysql")
+        for entry in system.template_ar().entries:
+            assert entry.name in mysql_checker.known_params
+
+
+class TestBasicTypeValidators:
+    @pytest.mark.parametrize(
+        "value,code",
+        [
+            ("fast", "not-an-integer"),
+            ("12.5", "fractional-int"),
+            ("9G", "unit-suffix"),
+            ("99999999999999999999", "int-overflow"),
+            # Non-finite floats must diagnose, not crash int(float(x)).
+            ("nan", "not-an-integer"),
+            ("1e999", "not-an-integer"),
+        ],
+    )
+    def test_integer_violations(self, mysql_checker, value, code):
+        report = validate_config(
+            mysql_checker, f"max_connections = {value}\n"
+        )
+        # The overflow value also trips the range constraint; the
+        # basic-type diagnostic must be among the errors either way.
+        diagnostics = [d for d in report.errors() if d.code == code]
+        assert diagnostics, [d.code for d in report.errors()]
+        assert all(d.param == "max_connections" for d in report.errors())
+        assert diagnostics[0].kind == "basic"
+        assert diagnostics[0].config_line == 1
+
+    def test_boolean_words_pass_integer_slots(self, caches):
+        # vsftpd's YES/NO switches map to int variables; words the
+        # boolean decoder understands are not type mistakes.
+        checker = checker_for_system(get_system("vsftpd"), caches=caches)
+        ok = validate_config(checker, "write_enable=NO\n")
+        assert not ok.flagged
+        bad = validate_config(checker, "write_enable=fast\n")
+        assert [d.code for d in bad.errors()] == ["not-an-integer"]
+
+
+class TestRangeValidators:
+    def test_numeric_above_range(self, mysql_checker):
+        report = validate_config(mysql_checker, "ft_min_word_len = 99\n")
+        codes = {d.code for d in report.errors()}
+        assert "above-range" in codes
+
+    def test_numeric_in_range_clean(self, mysql_checker):
+        report = validate_config(mysql_checker, "ft_min_word_len = 5\n")
+        assert not report.flagged
+
+    def test_case_sensitive_enum_suggests_exact_spelling(
+        self, mysql_checker
+    ):
+        report = validate_config(
+            mysql_checker, "innodb_file_format_check = antelope\n"
+        )
+        (diagnostic,) = report.errors()
+        assert diagnostic.code == "wrong-case"
+        assert "'Antelope'" in diagnostic.suggestion
+
+
+class TestSemanticValidators:
+    def test_occupied_port(self, mysql_checker):
+        report = validate_config(mysql_checker, "port = 3130\n")
+        assert "port-in-use" in {d.code for d in report.errors()}
+
+    def test_directory_where_file_expected(self, mysql_checker):
+        report = validate_config(
+            mysql_checker, "ft_stopword_file = /data/injected_dir\n"
+        )
+        assert "dir-for-file" in {d.code for d in report.errors()}
+
+    def test_missing_parent_directory(self, mysql_checker):
+        report = validate_config(
+            mysql_checker, "ft_stopword_file = /no/such/file\n"
+        )
+        assert "missing-path" in {d.code for d in report.errors()}
+
+
+class TestCrossParameterValidators:
+    def test_value_relationship_against_default(self, mysql_checker):
+        # ft_max_word_len defaults to 84; 99 violates min < max even
+        # though only one side is set in the user's file.
+        report = validate_config(mysql_checker, "ft_min_word_len = 99\n")
+        assert "relationship-violated" in {d.code for d in report.errors()}
+
+    def test_value_relationship_satisfied(self, mysql_checker):
+        report = validate_config(
+            mysql_checker, "ft_min_word_len = 5\nft_max_word_len = 50\n"
+        )
+        assert not report.flagged
+
+    def test_control_dependency_disabled_gate(self, caches):
+        checker = checker_for_system(get_system("vsftpd"), caches=caches)
+        report = validate_config(
+            checker, "ssl_enable=NO\nssl_tlsv1=NO\n"
+        )
+        deps = [
+            d for d in report.errors() if d.code == "dependency-disabled"
+        ]
+        assert deps and deps[0].param == "ssl_tlsv1"
+        assert "ssl_enable" in deps[0].message
+
+    def test_control_dependency_spares_vendor_defaults(self, caches):
+        # ssl_tlsv1=YES is the template's own value: a user who kept
+        # it did not express an intent the software ignores.
+        checker = checker_for_system(get_system("vsftpd"), caches=caches)
+        report = validate_config(
+            checker, "ssl_enable=NO\nssl_tlsv1=YES\n"
+        )
+        assert "dependency-disabled" not in {
+            d.code for d in report.errors()
+        }
+
+
+class TestEnvView:
+    def test_snapshot_from_os(self):
+        system = get_system("mysql")
+        env = EnvView.from_os(system.make_os())
+        assert env.is_dir("/data/injected_dir")
+        assert env.exists("/data/injected_file")
+        assert not env.is_dir("/data/injected_file")
+        assert 3130 in env.occupied_ports
+        assert "mysql" in env.users
+        assert env.resolves("localhost") and env.resolves("10.1.2.3")
+        assert not env.resolves("no-such-host.invalid")
+
+    def test_compile_with_explicit_env(self, caches):
+        system = get_system("mysql")
+        spex = Campaign(
+            system, inference_cache=caches.inference
+        ).run_spex()
+        bare = EnvView(
+            paths={"/": True},
+            occupied_ports=frozenset(),
+            users=frozenset(),
+            groups=frozenset(),
+            hosts=frozenset(),
+        )
+        checker = compile_checker(spex, system, env=bare)
+        # Without the fixture dir the same path is now a missing-path
+        # problem instead of a dir-for-file one.
+        report = validate_config(
+            checker, "ft_stopword_file = /data/injected_dir\n"
+        )
+        assert "missing-path" in {d.code for d in report.errors()}

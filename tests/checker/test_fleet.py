@@ -1,0 +1,124 @@
+"""Tests for fleet-scale sharded validation."""
+
+import pytest
+
+from repro.checker import run_fleet
+from repro.pipeline import PipelineCaches
+
+SYSTEMS = ["mysql", "vsftpd"]
+
+
+def _summary(report):
+    return [
+        (
+            r.name,
+            r.corpus_size,
+            r.planted,
+            r.flagged,
+            r.errors,
+            r.warnings,
+            sorted(r.by_kind.items()),
+            r.scores,
+        )
+        for r in report.results
+    ]
+
+
+@pytest.fixture(scope="module")
+def caches():
+    return PipelineCaches()
+
+
+@pytest.fixture(scope="module")
+def serial_report(caches):
+    return run_fleet(
+        systems=SYSTEMS,
+        size=60,
+        seed=5,
+        executor="serial",
+        caches=caches,
+        agreement_sample=6,
+    )
+
+
+class TestFleetRun:
+    def test_shape_and_scores(self, serial_report):
+        assert [r.name for r in serial_report.results] == SYSTEMS
+        assert serial_report.total_configs == 120
+        for result in serial_report.results:
+            assert result.corpus_size == 60
+            assert 0 < result.planted < 60
+            # Clean configs equal the calibrated template: flagging one
+            # would be a checker false positive.
+            assert result.scores.false_positives == 0
+            assert result.scores.precision == 1.0
+            assert result.scores.recall is not None
+            assert result.scores.recall > 0.5
+        assert serial_report.throughput() > 0
+
+    def test_deterministic_for_fixed_seed(self, serial_report, caches):
+        again = run_fleet(
+            systems=SYSTEMS, size=60, seed=5, executor="serial",
+            caches=caches,
+        )
+        assert _summary(again) == _summary(serial_report)
+
+    def test_different_seed_changes_fleet(self, serial_report, caches):
+        other = run_fleet(
+            systems=SYSTEMS, size=60, seed=6, executor="serial",
+            caches=caches,
+        )
+        assert _summary(other) != _summary(serial_report)
+
+    def test_checker_cache_warm_on_second_run(self, serial_report, caches):
+        before = caches.checkers.stats.hits
+        warm = run_fleet(
+            systems=SYSTEMS, size=10, seed=5, executor="serial",
+            caches=caches,
+        )
+        assert caches.checkers.stats.hits >= before + len(SYSTEMS)
+        assert all(r.checker_from_cache for r in warm.results)
+
+    def test_agreement_sample_grounded(self, serial_report):
+        agreement = serial_report.agreement
+        assert agreement is not None
+        assert agreement.sampled == 6
+        assert agreement.confirmed + agreement.refuted == agreement.sampled
+        # The tentpole's ground-truth claim, in miniature: flagged
+        # configs overwhelmingly misbehave under the interpreter.
+        assert agreement.confirmed >= agreement.refuted
+        assert len(agreement.details) == agreement.sampled
+
+    def test_summary_dict_json_able(self, serial_report):
+        import json
+
+        decoded = json.loads(json.dumps(serial_report.summary_dict()))
+        assert decoded["total_configs"] == 120
+        assert decoded["systems"][0]["name"] == "mysql"
+        assert decoded["agreement"]["sampled"] == 6
+
+    def test_unknown_system_fails_before_work(self, caches):
+        with pytest.raises(KeyError):
+            run_fleet(systems=["nope"], size=5, caches=caches)
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parity_with_serial(self, serial_report, caches, executor):
+        report = run_fleet(
+            systems=SYSTEMS,
+            size=60,
+            seed=5,
+            executor=executor,
+            caches=caches,
+            chunk_size=16,
+        )
+        assert report.executor == executor
+        assert _summary(report) == _summary(serial_report)
+
+    def test_chunk_size_never_changes_results(self, serial_report, caches):
+        report = run_fleet(
+            systems=SYSTEMS, size=60, seed=5, executor="serial",
+            caches=caches, chunk_size=7,
+        )
+        assert _summary(report) == _summary(serial_report)

@@ -1,0 +1,97 @@
+"""Tests for the validation driver and diagnostic quality."""
+
+import json
+
+import pytest
+
+from repro.checker import checker_for_system, validate_config
+from repro.pipeline import PipelineCaches
+from repro.systems import get_system
+
+
+@pytest.fixture(scope="module")
+def mysql_checker():
+    return checker_for_system(get_system("mysql"), caches=PipelineCaches())
+
+
+class TestDiagnosticQuality:
+    """Every diagnostic must carry the 'do not blame users' payload:
+    an actionable suggestion and the code evidence the constraint was
+    inferred from."""
+
+    def test_every_error_has_fix_and_evidence(self, mysql_checker):
+        report = validate_config(
+            mysql_checker,
+            "max_connections = fast\n"
+            "ft_min_word_len = 99\n"
+            "port = 70000\n"
+            "innodb_file_format_check = ANTELOPE\n",
+        )
+        assert report.flagged
+        for diagnostic in report.errors():
+            assert diagnostic.suggestion.strip()
+            assert diagnostic.message.strip()
+            assert diagnostic.evidence.filename
+            assert diagnostic.config_line is not None
+        # At least some constraints carry real code evidence.
+        assert any(
+            d.evidence.filename.endswith(".c") and d.evidence.line > 0
+            for d in report.errors()
+        )
+
+    def test_describe_mentions_fix_and_evidence(self, mysql_checker):
+        report = validate_config(mysql_checker, "ft_min_word_len = 99\n")
+        text = report.errors()[0].describe()
+        assert "fix:" in text and "evidence:" in text
+
+    def test_summary_dict_is_json_able(self, mysql_checker):
+        report = validate_config(mysql_checker, "port = 3130\n")
+        decoded = json.loads(json.dumps(report.summary_dict()))
+        assert decoded["system"] == "mysql"
+        assert decoded["flagged"] is True
+        assert decoded["diagnostics"][0]["param"] == "port"
+
+
+class TestValidationDriver:
+    def test_first_occurrence_wins(self, mysql_checker):
+        # `ConfigAR.get` semantics: a duplicated key keeps its first
+        # value, so only the first occurrence is validated.
+        report = validate_config(
+            mysql_checker, "ft_min_word_len = 5\nft_min_word_len = 99\n"
+        )
+        assert not report.flagged
+
+    def test_unknown_parameter_warns_with_close_match(self, mysql_checker):
+        report = validate_config(mysql_checker, "ft_min_word_leg = 5\n")
+        assert not report.flagged  # warnings never flag a config
+        (warning,) = report.warnings()
+        assert warning.kind == "unknown"
+        assert "ft_min_word_len" in warning.suggestion
+
+    def test_unknown_parameter_without_close_match(self, mysql_checker):
+        report = validate_config(mysql_checker, "zzz_opt = 5\n")
+        (warning,) = report.warnings()
+        assert "manual" in warning.suggestion
+
+    def test_parameters_counted(self, mysql_checker):
+        report = validate_config(
+            mysql_checker, "port = 3307\nzzz_opt = 5\n"
+        )
+        assert report.parameters_present == 2
+        assert report.parameters_checked == 1
+
+    def test_kinds_flagged_deduplicated_in_order(self, mysql_checker):
+        report = validate_config(
+            mysql_checker,
+            "max_connections = fast\n"
+            "wait_timeout = slow\n"
+            "ft_min_word_len = 99\n",
+        )
+        kinds = report.kinds_flagged()
+        assert kinds[0] == "basic"
+        assert len(kinds) == len(set(kinds))
+
+    def test_empty_config_is_clean(self, mysql_checker):
+        report = validate_config(mysql_checker, "")
+        assert not report.flagged
+        assert report.parameters_present == 0

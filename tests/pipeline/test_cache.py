@@ -157,7 +157,12 @@ class TestPipelineCaches:
     def test_stats_shape(self):
         caches = PipelineCaches()
         stats = caches.stats()
-        assert set(stats) == {"inference", "campaigns", "launches"}
+        assert set(stats) == {
+            "inference",
+            "campaigns",
+            "launches",
+            "checkers",
+        }
         assert stats["inference"] == {
             "hits": 0,
             "misses": 0,

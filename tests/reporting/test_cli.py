@@ -1,4 +1,10 @@
-"""Tests for the CLI entry point."""
+"""Tests for the CLI entry point.
+
+Exit-code contract: 0 success/clean, 1 `check` found errors, 2 usage
+mistakes (unknown command, unknown system, unreadable file).
+"""
+
+import json
 
 from repro.reporting.cli import main
 
@@ -38,3 +44,98 @@ class TestCli:
         assert main(["pipeline", "--systems", "nope"]) == 2
         err = capsys.readouterr().err
         assert "unknown system" in err
+
+    def test_pipeline_json_output(self, capsys):
+        assert main(["pipeline", "--systems", "vsftpd", "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["executor"] == "serial"
+        assert decoded["systems"][0]["name"] == "vsftpd"
+        assert decoded["systems"][0]["misconfigurations_tested"] > 0
+        assert set(decoded["cache_stats"]) >= {"inference", "launches"}
+
+    def test_unknown_command_exit_code_and_listing(self, capsys):
+        assert main(["bogus-command"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command" in err
+        # The usage listing names every subcommand family.
+        for command in ("pipeline", "check", "fleet", "table5a"):
+            assert command in err
+
+    def test_help_exit_code_zero(self, capsys):
+        assert main(["help"]) == 0
+        out = capsys.readouterr().out
+        assert "check" in out and "fleet" in out
+
+
+class TestCheckCommand:
+    def test_clean_config_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "ok.cnf"
+        path.write_text("ft_min_word_len = 5\n")
+        assert main(["check", "mysql", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no problems found" in out
+
+    def test_bad_config_exits_one_with_fix(self, capsys, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text("ft_min_word_len = 99\n")
+        assert main(["check", "mysql", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ft_min_word_len" in out and "fix:" in out
+
+    def test_unknown_system_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "x.cnf"
+        path.write_text("")
+        assert main(["check", "bogus", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown system" in err and "mysql" in err
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["check", "mysql", str(tmp_path / "absent.cnf")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text("port = 70000\n")
+        assert main(["check", "mysql", str(path), "--json"]) == 1
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["flagged"] is True
+        assert decoded["diagnostics"][0]["param"] == "port"
+
+
+class TestFleetCommand:
+    def test_fleet_renders_table(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--systems", "vsftpd", "--size", "20",
+                    "--sample", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fleet: constraint-checked synthetic user configs" in out
+        assert "vsftpd" in out
+        assert "interpreter agreement" in out
+
+    def test_fleet_unknown_system_exits_two(self, capsys):
+        assert main(["fleet", "--systems", "nope"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_fleet_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--systems", "vsftpd,mysql", "--size", "10",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["total_configs"] == 20
+        assert [s["name"] for s in decoded["systems"]] == [
+            "vsftpd",
+            "mysql",
+        ]
+        assert decoded["scores"]["false_positives"] == 0

@@ -1,0 +1,95 @@
+"""Tests for the AST lint tool (`tools/lint.py`)."""
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint import check_tree  # noqa: E402
+
+
+def _codes(source: str) -> list[str]:
+    tree = ast.parse(source)
+    return [code for _, _, code, _ in check_tree(Path("x.py"), tree)]
+
+
+class TestMutableDefault:
+    def test_list_literal_default(self):
+        assert _codes("def f(x=[]):\n    pass\n") == ["mutable-default"]
+
+    def test_dict_and_set_literals(self):
+        assert _codes("def f(a={}, b={1}):\n    pass\n") == [
+            "mutable-default",
+            "mutable-default",
+        ]
+
+    def test_constructor_calls(self):
+        source = "def f(a=list(), b=dict(), c=set()):\n    pass\n"
+        assert _codes(source) == ["mutable-default"] * 3
+
+    def test_keyword_only_default(self):
+        assert _codes("def f(*, x=[]):\n    pass\n") == ["mutable-default"]
+
+    def test_async_function(self):
+        assert _codes("async def f(x={}):\n    pass\n") == [
+            "mutable-default"
+        ]
+
+    def test_comprehension_default(self):
+        assert _codes("def f(x=[i for i in range(3)]):\n    pass\n") == [
+            "mutable-default"
+        ]
+
+    def test_immutable_defaults_pass(self):
+        source = (
+            "def f(a=None, b=0, c='x', d=(), e=frozenset()):\n    pass\n"
+        )
+        assert _codes(source) == []
+
+    def test_dataclass_field_factory_exempt(self):
+        source = (
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class C:\n"
+            "    xs: list = field(default_factory=list)\n"
+        )
+        assert _codes(source) == []
+
+
+class TestExistingDetectors:
+    def test_dead_branch_same_return(self):
+        source = (
+            "def f(x):\n"
+            "    if x:\n"
+            "        return x + 1\n"
+            "    return x + 1\n"
+        )
+        assert _codes(source) == ["dead-branch"]
+
+    def test_live_branch_different_return(self):
+        source = (
+            "def f(x):\n"
+            "    if x:\n"
+            "        return x + 1\n"
+            "    return x - 1\n"
+        )
+        assert _codes(source) == []
+
+    def test_self_compare(self):
+        assert _codes("y = 1\nok = y == y\n") == ["self-compare"]
+
+    def test_assert_tuple(self):
+        assert _codes("assert (1, 'msg')\n") == ["assert-tuple"]
+
+    def test_repo_is_clean(self):
+        # The gate `make lint` enforces, in miniature: the shipped
+        # sources must be free of every detector's findings.
+        from lint import iter_python_files, run_builtin
+
+        files = iter_python_files(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]
+        )
+        assert files
+        assert run_builtin(files) == 0

@@ -13,6 +13,12 @@ have actually bitten this codebase:
   tautologies (``!=`` is deliberately exempt: it is the NaN idiom).
 * ``assert-tuple`` - ``assert (expr, "msg")``, a non-empty tuple that
   is always truthy.
+* ``mutable-default`` - a function parameter whose default is a
+  mutable literal or constructor (``[]``, ``{}``, ``set()``,
+  ``list()``, ``dict()``): the default is created once and shared by
+  every call, the classic accumulating-state bug.  Dataclass
+  ``field(default_factory=...)`` is the idiom this codebase uses
+  instead and is naturally exempt (it is not a parameter default).
 
 When ruff or pyflakes *is* installed, ``--external`` additionally runs
 it (ruff restricted to F-codes) for broader coverage; absence of both
@@ -128,8 +134,39 @@ def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
                         "(parenthesized assert with message?)",
                     )
                 )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]:
+                if _is_mutable_default(default):
+                    findings.append(
+                        (
+                            path,
+                            default.lineno,
+                            "mutable-default",
+                            f"default argument of {node.name}() is "
+                            "mutable and shared across calls; use None "
+                            "and create it inside the function",
+                        )
+                    )
 
     return findings
+
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
 
 
 def run_builtin(files: list[Path]) -> int:
