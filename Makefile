@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # this.
 export PYTHONHASHSEED := 0
 
-.PHONY: test lint bench fleet-bench docs-check quickstart pipeline fleet all
+.PHONY: test lint bench bench-json fleet-bench docs-check quickstart pipeline fleet all
 
 all: test docs-check
 
@@ -27,6 +27,12 @@ lint:
 # Benchmark suite only, with the regenerated tables printed.
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
+
+# Launch-engine perf trajectory: regenerates BENCH_launch.json
+# (per-system tree/cold/warm launch throughput, cold campaign
+# wall-clock under both engines, boot/cache counters).
+bench-json:
+	$(PYTHON) tools/bench_json.py
 
 # Fleet-scale config-checking benchmark only: configs/sec, executor
 # speedup over serial, compiled-checker cache hit rate.

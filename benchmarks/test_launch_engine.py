@@ -1,0 +1,128 @@
+"""Launch-engine benchmark: closure compilation + warm-boot snapshots.
+
+The acceptance bar for the compile-and-replay engine: a *cold*
+(launch-cache-empty) 7-system campaign must run at >= 3x the launch
+throughput of the tree-walking baseline (the seed's engine: tree
+dispatch, no snapshots), while producing bit-identical verdicts and
+`Vulnerability` sets.  Inference is pre-warmed and shared so both
+sweeps time the injection loop, not SPEX.
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro.inject.campaign import Campaign
+from repro.pipeline.cache import PipelineCaches, SnapshotCache
+from repro.runtime.interpreter import InterpreterOptions
+from repro.systems.registry import iter_systems
+
+# The harness's default budgets, pinned so both engines run identical
+# interpreter options apart from the engine/warm-boot knobs.
+TREE_BASELINE = InterpreterOptions(
+    max_steps=400_000,
+    max_virtual_seconds=120.0,
+    engine="tree",
+    warm_boot=False,
+)
+
+SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def inference():
+    caches = PipelineCaches()
+    for system in iter_systems(None):
+        Campaign(system, inference_cache=caches.inference).run_spex()
+    return caches.inference
+
+
+def _sweep(inference, harness_options=None, snapshot_cache=None):
+    """One cold 7-system campaign sweep; launch caches stay empty so
+    every single launch is really executed."""
+    duration = 0.0
+    verdict_streams = {}
+    vulnerability_sets = {}
+    misconfigurations = 0
+    for system in iter_systems(None):
+        campaign = Campaign(
+            system,
+            inference_cache=inference,
+            harness_options=harness_options,
+            snapshot_cache=snapshot_cache,
+        )
+        started = time.perf_counter()
+        report = campaign.run()
+        duration += time.perf_counter() - started
+        misconfigurations += report.misconfigurations_tested
+        vulnerability_sets[system.name] = frozenset(report.vulnerabilities)
+        verdict_streams[system.name] = [
+            (
+                verdict.misconfiguration.settings,
+                verdict.misconfiguration.rule,
+                verdict.reaction.category,
+                verdict.reaction.pinpointed,
+                verdict.reaction.detail,
+                verdict.tests_run,
+                verdict.failed_tests,
+            )
+            for verdict in report.verdicts
+        ]
+    return duration, misconfigurations, vulnerability_sets, verdict_streams
+
+
+def test_cold_campaign_3x_throughput_with_identical_results(inference):
+    tree_time, tree_mis, tree_vulns, tree_verdicts = _sweep(
+        inference, harness_options=TREE_BASELINE
+    )
+    snapshot_cache = SnapshotCache()
+    new_time, new_mis, new_vulns, new_verdicts = _sweep(
+        inference, snapshot_cache=snapshot_cache
+    )
+
+    assert new_mis == tree_mis
+    # Bit-identical outcomes: every verdict (reaction category,
+    # pinpointing, detail, test counts, failure roster) and therefore
+    # every Vulnerability set matches the tree-walking baseline.
+    assert new_verdicts == tree_verdicts
+    assert new_vulns == tree_vulns
+
+    tree_throughput = tree_mis / tree_time
+    new_throughput = new_mis / new_time
+    speedup = new_throughput / tree_throughput
+    stats = snapshot_cache.boot_stats
+    emit(
+        "Launch engine, cold 7-system campaign "
+        f"({tree_mis} misconfigurations):\n"
+        f"  tree baseline      {tree_time:6.2f}s  "
+        f"{tree_throughput:7.1f} misconfigs/s\n"
+        f"  compiled+snapshots {new_time:6.2f}s  "
+        f"{new_throughput:7.1f} misconfigs/s\n"
+        f"  speedup {speedup:.2f}x (floor {SPEEDUP_FLOOR}x); "
+        f"boots {stats.boots}, captures {stats.captures}, "
+        f"resumes {stats.resumes}"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"compiled launch engine is only {speedup:.2f}x the tree "
+        f"baseline (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_warm_snapshots_amortize_boots(inference):
+    """Across a campaign, full boots stay bounded by the unique-config
+    count (speculative capture merges probe+capture for most configs)
+    while every extra launch of a booting config is a resume."""
+    snapshot_cache = SnapshotCache()
+    for system in iter_systems(None):
+        Campaign(
+            system, inference_cache=inference, snapshot_cache=snapshot_cache
+        ).run()
+    stats = snapshot_cache.boot_stats
+    emit(
+        f"Snapshot amortization: {stats.boots} boots, "
+        f"{stats.captures} captures, {stats.resumes} resumes"
+    )
+    assert stats.resumes > stats.boots
+    assert stats.captures > 0

@@ -430,7 +430,9 @@ def ground_truth_agreement(
         harness = harnesses.get(name)
         if harness is None:
             harness = harnesses[name] = InjectionHarness(
-                context.system, launch_cache=caches.launches
+                context.system,
+                launch_cache=caches.launches,
+                snapshot_cache=caches.snapshots,
             )
         verdict = harness.test_misconfiguration(config.mistake)
         misbehaved = (

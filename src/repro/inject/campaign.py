@@ -37,10 +37,11 @@ from repro.inject.harness import InjectionHarness, InjectionVerdict
 from repro.inject.reactions import ReactionCategory
 from repro.knowledge import default_knowledge
 from repro.lang.source import Location
+from repro.runtime.interpreter import InterpreterOptions
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid the inject <-> systems/pipeline import cycles
-    from repro.pipeline.cache import InferenceCache, LaunchCache
+    from repro.pipeline.cache import InferenceCache, LaunchCache, SnapshotCache
     from repro.pipeline.executor import Executor
     from repro.systems.base import SubjectSystem
 
@@ -102,6 +103,16 @@ class Campaign:
     # rendered config, requests, interpreter options) run once across
     # batches, re-runs and parity sweeps; None disables launch caching.
     launch_cache: "LaunchCache | None" = None
+    # Shared warm-boot records (`repro.pipeline.cache.SnapshotCache`):
+    # one config's boot prefix is interpreted at most twice across all
+    # of this campaign's launches.  None keeps records harness-private
+    # (snapshots still on - the harness owns that default).
+    snapshot_cache: "SnapshotCache | None" = None
+    # Overrides the harness's interpreter options (engine selection,
+    # budgets) - the launch-engine benchmarks use this to pit the
+    # tree-walking baseline against the compiled engine on identical
+    # campaigns.  None keeps the harness default.
+    harness_options: InterpreterOptions | None = None
 
     def run_spex(self) -> SpexReport:
         if self.inference_cache is None:
@@ -151,9 +162,7 @@ class Campaign:
                 chosen, report.spex_report, batches
             )
         else:
-            harness = InjectionHarness(
-                self.system, launch_cache=self.launch_cache
-            )
+            harness = self._harness()
             verdict_lists = chosen.map(
                 lambda batch: harness.test_batch(batch, template), batches
             )
@@ -181,6 +190,16 @@ class Campaign:
                 )
         return report
 
+    def _harness(self) -> InjectionHarness:
+        """The in-process harness, wired to this campaign's caches."""
+        kwargs = {
+            "launch_cache": self.launch_cache,
+            "snapshot_cache": self.snapshot_cache,
+        }
+        if self.harness_options is not None:
+            kwargs["options"] = self.harness_options
+        return InjectionHarness(self.system, **kwargs)
+
     def _test_batches_in_processes(
         self, executor, spex_report: SpexReport, batches
     ) -> list[list[InjectionVerdict]]:
@@ -198,6 +217,13 @@ class Campaign:
                 "the process executor rebuilds campaign context in "
                 "worker processes and cannot ship a customised "
                 "generator registry; use the serial or thread executor"
+            )
+        if self.harness_options is not None:
+            raise ValueError(
+                "the process executor rebuilds the harness with default "
+                "interpreter options in worker processes and cannot ship "
+                "a customised InterpreterOptions; use the serial or "
+                "thread executor"
             )
         seed_key = _seed_batch_workers(
             self.system.name, self.spex_options, spex_report, self.launch_cache
@@ -223,10 +249,12 @@ class Campaign:
         finally:
             _WORKER_SEEDS.pop(seed_key, None)
         verdict_lists: list[list[InjectionVerdict]] = [None] * len(batches)
-        for index, verdicts, launch_stats in results:
+        for index, verdicts, launch_stats, boot_stats in results:
             verdict_lists[index] = verdicts
             if self.launch_cache is not None:
                 self.launch_cache.absorb_stats(launch_stats)
+            if self.snapshot_cache is not None:
+                self.snapshot_cache.absorb_boot_stats(boot_stats)
         return verdict_lists
 
     def _case_alterations(self, spex_report: SpexReport, template):
@@ -366,10 +394,10 @@ def _worker_context(
 def _test_batch_by_name(task):
     """Process-pool entry point for one `MisconfigurationBatch`.
 
-    Returns (batch index, slimmed verdicts, launch-cache stats delta);
-    interpreter snapshots are dropped before the verdicts cross the
-    pickle boundary - silent-violation classification already happened
-    in this process.
+    Returns (batch index, slimmed verdicts, launch-cache stats delta,
+    boot-stats delta); interpreter snapshots are dropped before the
+    verdicts cross the pickle boundary - silent-violation
+    classification already happened in this process.
     """
     name, spex_options, batch_index, digest, use_launch_cache = task
     harness, batches, template = _worker_context(
@@ -384,13 +412,21 @@ def _test_batch_by_name(task):
             "is sensitive to the interpreter hash seed; use a fork "
             "start method or set PYTHONHASHSEED)"
         )
+    boot_before = harness.boot_stats.snapshot()
     if harness.launch_cache is None:
         verdicts = harness.test_batch(batch, template)
         slim_verdicts(verdicts)
-        return batch_index, verdicts, {}
+        return batch_index, verdicts, {}, _stats_delta(
+            boot_before, harness.boot_stats.snapshot()
+        )
     before = harness.launch_cache.stats.snapshot()
     verdicts = harness.test_batch(batch, template)
     slim_verdicts(verdicts)
-    after = harness.launch_cache.stats.snapshot()
-    delta = {key: after[key] - before[key] for key in after}
-    return batch_index, verdicts, delta
+    delta = _stats_delta(before, harness.launch_cache.stats.snapshot())
+    return batch_index, verdicts, delta, _stats_delta(
+        boot_before, harness.boot_stats.snapshot()
+    )
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before[key] for key in after}

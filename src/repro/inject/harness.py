@@ -19,9 +19,15 @@ from repro.inject.generators import Misconfiguration, MisconfigurationBatch
 from repro.inject.reactions import Reaction, ReactionCategory
 from repro.runtime.interpreter import InterpreterOptions
 from repro.runtime.process import ProcessResult, ProcessStatus, run_program
+from repro.runtime.snapshot import (
+    BootRecord,
+    BootStats,
+    BoundaryHint,
+    boot_launch,
+)
 
 if TYPE_CHECKING:  # avoid the inject <-> systems/pipeline import cycles
-    from repro.pipeline.cache import LaunchCache
+    from repro.pipeline.cache import LaunchCache, SnapshotCache
     from repro.systems.base import SubjectSystem
 
 
@@ -57,11 +63,25 @@ class InjectionHarness:
     # (system, config text, requests, interpreter options) share one
     # interpreter run.  Launches are pure, so caching is transparent.
     launch_cache: "LaunchCache | None" = None
+    # Warm-boot snapshots (`repro.runtime.snapshot`): per-config boot
+    # state replayed across the functional-test launches of one
+    # config.  Enabled by `options.warm_boot` (default on);
+    # `snapshot_cache` shares records across harnesses (campaign +
+    # fleet agreement), otherwise records live privately in this
+    # harness.
+    snapshot_cache: "SnapshotCache | None" = None
     # Memo of `options.fingerprint()`: the options are fixed for the
     # harness's lifetime and the digest sits on the per-launch hot
     # path (do not mutate `options` after the first launch).
     _options_fingerprint: str | None = field(
         default=None, init=False, repr=False
+    )
+    _boot_records: dict = field(default_factory=dict, init=False, repr=False)
+    _boot_stats: BootStats = field(
+        default_factory=BootStats, init=False, repr=False
+    )
+    _boundary_hint: BoundaryHint = field(
+        default_factory=BoundaryHint, init=False, repr=False
     )
 
     # -- low-level runs ------------------------------------------------------
@@ -87,16 +107,67 @@ class InjectionHarness:
     def _launch(
         self, config_text: str, requests: list[str] | None = None
     ) -> ProcessResult:
+        argv = [self.system.name, self.system.config_path]
+        if not self.options.warm_boot:
+            os_model = self._make_os(config_text)
+            if requests:
+                os_model.queue_requests(requests)
+            return run_program(
+                self.system.program(), os_model, argv=argv, options=self.options
+            )
+        record, stats, hint = self._boot_record(config_text, argv)
+        return boot_launch(
+            self.system.program(),
+            lambda: self._make_os(config_text),
+            argv,
+            self.options,
+            record,
+            requests=requests,
+            stats=stats,
+            hint=hint,
+        )
+
+    def _make_os(self, config_text: str):
         os_model = self.system.make_os()
         self.system.install_config(os_model, config_text)
-        if requests:
-            os_model.queue_requests(requests)
-        return run_program(
-            self.system.program(),
-            os_model,
-            argv=[self.system.name, self.system.config_path],
-            options=self.options,
-        )
+        return os_model
+
+    def _boot_record(
+        self, config_text: str, argv: list[str]
+    ) -> tuple[BootRecord, BootStats, BoundaryHint]:
+        """This config's boot record (plus stats and the system-level
+        boundary hint): shared through the snapshot cache when one is
+        attached, harness-private otherwise (where `argv` is constant
+        by construction, so config text alone keys the record)."""
+        if self.snapshot_cache is not None:
+            if self._options_fingerprint is None:
+                self._options_fingerprint = self.options.fingerprint()
+            key = self.snapshot_cache.key_for(
+                self.system,
+                config_text,
+                self.options,
+                options_fingerprint=self._options_fingerprint,
+                argv=tuple(argv),
+            )
+            return (
+                self.snapshot_cache.record_for(key),
+                self.snapshot_cache.boot_stats,
+                self.snapshot_cache.hint_for(
+                    self.system.name, self._options_fingerprint
+                ),
+            )
+        record = self._boot_records.get(config_text)
+        if record is None:
+            record = self._boot_records[config_text] = BootRecord()
+        return record, self._boot_stats, self._boundary_hint
+
+    @property
+    def boot_stats(self) -> BootStats:
+        """Snapshot-engine counters for this harness's launches (the
+        shared cache's counters when one is attached)."""
+        if self.snapshot_cache is not None:
+            return self.snapshot_cache.boot_stats
+        return self._boot_stats
 
     def _cacheable_launch(
         self, config_text: str, requests: list[str] | None

@@ -12,7 +12,11 @@ A third layer, the `LaunchCache`, works at the opposite end of the
 stack: individual interpreter launches keyed by (system, config text,
 requests, interpreter options), so injections that serialize to
 identical configs - and every repeated baseline launch - share one
-interpreter run.
+interpreter run.  A fourth, the `SnapshotCache`, backs the launch
+engine's warm-boot replay (`repro.runtime.snapshot`): per-config boot
+records keyed by (system, config text, options), shared across
+harnesses so one config's boot prefix is interpreted at most twice per
+process no matter how many launches replay it.
 
 Keys are SHA-256 hex digests; a changed source file, annotation block
 or `SpexOptions` knob yields a new key, so stale entries are never
@@ -34,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
 
 from repro.core.engine import SpexOptions, SpexReport
+from repro.runtime.snapshot import BootRecord, BootStats, BoundaryHint
 
 T = TypeVar("T")
 
@@ -255,6 +260,101 @@ class LaunchCache(ContentCache):
         )
 
 
+def snapshot_fingerprint(
+    system_name: str,
+    config_text: str,
+    options_fingerprint: str,
+    argv: tuple[str, ...] = (),
+) -> str:
+    """Key of one warm-boot record (`repro.runtime.snapshot`).
+
+    Covers everything the boot prefix reads: which system boots (its
+    program and OS fixtures are deterministic per name), the rendered
+    config text, the launch argv (main's boot code reads it), and the
+    interpreter knobs - including the engine, so tree and compiled
+    launches never share a snapshot.  The request queue is
+    deliberately absent: boot state is request-independent by the
+    boundary's definition.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"boot\x00")
+    digest.update(system_name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(config_text.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(str(len(argv)).encode("utf-8"))
+    for arg in argv:
+        digest.update(b"\x00")
+        digest.update(arg.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(options_fingerprint.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SnapshotCache(ContentCache[BootRecord]):
+    """`BootRecord`s keyed by `snapshot_fingerprint`.
+
+    Shared across harnesses (campaign batches, the fleet agreement
+    sampler) so one config's boot prefix is interpreted at most twice
+    per process - probe and capture - no matter how many launches
+    replay it.  Records are mutated in place by the snapshot engine;
+    all transitions derive from deterministic runs, so concurrent
+    writers can only race to store equivalent values.  `boot_stats`
+    counts resumes/boots/captures - the hit/miss counters of the base
+    class are unused (records are bookkeeping containers, not results).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.boot_stats = BootStats()
+        self._hints: dict[tuple[str, str], BoundaryHint] = {}
+
+    def key_for(
+        self,
+        system,
+        config_text: str,
+        options,
+        options_fingerprint: str | None = None,
+        argv: tuple[str, ...] = (),
+    ) -> str:
+        """Key of one system config's boot record (duck-typed like
+        `LaunchCache.key_for`)."""
+        return snapshot_fingerprint(
+            system.name,
+            config_text,
+            options_fingerprint
+            if options_fingerprint is not None
+            else options.fingerprint(),
+            argv=argv,
+        )
+
+    def record_for(self, key: str) -> BootRecord:
+        """The record under `key`, created empty on first use (no
+        hit/miss accounting - `boot_stats` measures the work)."""
+        with self._lock:
+            record = self._entries.get(key)
+            if record is None:
+                record = self._entries[key] = BootRecord()
+            return record
+
+    def hint_for(
+        self, system_name: str, options_fingerprint: str
+    ) -> BoundaryHint:
+        """The speculative boot-boundary hint shared by all configs of
+        one (system, options) pair."""
+        key = (system_name, options_fingerprint)
+        with self._lock:
+            hint = self._hints.get(key)
+            if hint is None:
+                hint = self._hints[key] = BoundaryHint()
+            return hint
+
+    def absorb_boot_stats(self, delta: dict[str, int]) -> None:
+        """Fold a worker process's snapshot-engine counters in."""
+        with self._lock:
+            self.boot_stats.absorb(delta)
+
+
 def checker_fingerprint(
     spex_key: str, default_config: str, dialect_repr: str
 ) -> str:
@@ -284,6 +384,7 @@ class PipelineCaches:
     campaigns: ContentCache = field(default_factory=ContentCache)
     launches: LaunchCache = field(default_factory=LaunchCache)
     checkers: ContentCache = field(default_factory=ContentCache)
+    snapshots: SnapshotCache = field(default_factory=SnapshotCache)
 
     def stats(self) -> dict[str, dict[str, int]]:
         return {
@@ -291,4 +392,5 @@ class PipelineCaches:
             "campaigns": self.campaigns.stats.snapshot(),
             "launches": self.launches.stats.snapshot(),
             "checkers": self.checkers.stats.snapshot(),
+            "snapshots": self.snapshots.boot_stats.snapshot(),
         }

@@ -45,6 +45,7 @@ from repro.inject.reactions import ReactionCategory
 from repro.pipeline.cache import (
     LaunchCache,
     PipelineCaches,
+    SnapshotCache,
     campaign_fingerprint,
 )
 from repro.pipeline.executor import (
@@ -137,12 +138,14 @@ def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
     if batch_executor == "process":
         batch_executor = "serial"
     launch_cache = LaunchCache()
+    snapshot_cache = SnapshotCache()
     campaign = Campaign(
         get_system(name),
         spex_options=spex_options,
         executor=batch_executor,
         max_workers=max_workers,
         launch_cache=launch_cache,
+        snapshot_cache=snapshot_cache,
     )
     report = campaign.run()
     slim_verdicts(report.verdicts)
@@ -151,6 +154,7 @@ def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
         report,
         time.perf_counter() - started,
         launch_cache.stats.snapshot(),
+        snapshot_cache.boot_stats.snapshot(),
     )
 
 
@@ -260,12 +264,13 @@ class CampaignPipeline:
                 for name in names
             ]
             out = []
-            for _, report, duration, launch_stats in executor.map(
+            for _, report, duration, launch_stats, boot_stats in executor.map(
                 _run_campaign_by_name, tasks
             ):
-                # Worker launch caches die with the worker; their
-                # hit/miss counters still belong in the report footer.
+                # Worker launch/snapshot caches die with the worker;
+                # their counters still belong in the report footer.
                 self.caches.launches.absorb_stats(launch_stats)
+                self.caches.snapshots.absorb_boot_stats(boot_stats)
                 out.append((report, duration))
             return out
         batch_spec = self.batch_executor or "serial"
@@ -301,6 +306,7 @@ class CampaignPipeline:
             executor=batch_executor,
             max_workers=self.max_workers,
             launch_cache=self.caches.launches,
+            snapshot_cache=self.caches.snapshots,
         )
         report = campaign.run()
         return report, time.perf_counter() - started

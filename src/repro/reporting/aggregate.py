@@ -160,6 +160,7 @@ def _footer(report: PipelineReport) -> str:
     inference = report.cache_stats.get("inference", {})
     campaigns = report.cache_stats.get("campaigns", {})
     launches = report.cache_stats.get("launches", {})
+    snapshots = report.cache_stats.get("snapshots", {})
     lines = [
         f"executor: {report.executor}; wall time: {report.wall_time:.2f}s; "
         f"{report.cached_count()}/{len(report.runs)} campaigns from cache",
@@ -168,6 +169,8 @@ def _footer(report: PipelineReport) -> str:
         f"campaign cache: {campaigns.get('hits', 0)} hits / "
         f"{campaigns.get('misses', 0)} misses; "
         f"launch cache: {launches.get('hits', 0)} hits / "
-        f"{launches.get('misses', 0)} misses",
+        f"{launches.get('misses', 0)} misses; "
+        f"warm boots: {snapshots.get('resumes', 0)} resumes / "
+        f"{snapshots.get('boots', 0)} full boots",
     ]
     return "\n".join(lines)

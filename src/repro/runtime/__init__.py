@@ -20,9 +20,19 @@ from repro.runtime.faults import (
 from repro.runtime.os_model import EmulatedOS, FileNode, LogRecord
 from repro.runtime.process import ProcessResult, ProcessStatus, run_program
 from repro.runtime.interpreter import Interpreter, InterpreterOptions
+from repro.runtime.compile import LaunchPlan, compile_program, plan_for
+from repro.runtime.snapshot import (
+    BootRecord,
+    BootSnapshot,
+    BootStats,
+    boot_launch,
+)
 
 __all__ = [
     "AbortFault",
+    "BootRecord",
+    "BootSnapshot",
+    "BootStats",
     "DivisionFault",
     "EmulatedOS",
     "ExitProcess",
@@ -30,10 +40,14 @@ __all__ = [
     "HangFault",
     "Interpreter",
     "InterpreterOptions",
+    "LaunchPlan",
     "LogRecord",
     "MachineFault",
     "ProcessResult",
     "ProcessStatus",
     "SegmentationFault",
+    "boot_launch",
+    "compile_program",
+    "plan_for",
     "run_program",
 ]

@@ -1,0 +1,1134 @@
+"""Closure compilation of MiniC programs - the launch engine's layer 1.
+
+The tree-walking interpreter re-dispatches on ``type(node)`` through
+``_STMT_DISPATCH``/``_EXPR_DISPATCH`` dict lookups for every statement
+and expression of every launch.  ``compile_program`` lowers a linked
+:class:`~repro.lang.program.Program` **once** into bound Python
+closures: each AST node becomes a closure with its children, operator,
+literal value, callee and location already resolved into closure
+cells, so executing a statement is one Python call instead of a
+dispatch chain.  The per-statement step-budget check (`_tick`) is
+folded directly into the compiled statement closures.
+
+Plans are memoized per ``Program`` (piggybacking on
+``SubjectSystem.program()`` memoization): every launch of a system
+shares one compile.  A ``Program`` is treated as immutable once
+compiled - ``add_source`` after ``plan_for`` is outside the contract
+(call bindings would go stale).
+
+Parity contract: a compiled run is bit-identical to a tree-walking run
+- same results, logs, responses, `steps` counts, and step-sensitive
+faults.  Value-level semantics (`binop`, `deref_value`, `index_value`,
+`cast_value`, ...) are shared module functions in
+`repro.runtime.interpreter`, so only control flow and dispatch are
+re-stated here; the differential parity suite
+(`tests/runtime/test_engine_parity.py`) enforces the rest.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Callable
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    BoolLiteral,
+    Break,
+    Call,
+    CallIndirect,
+    Cast,
+    CharLiteral,
+    Conditional,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    Identifier,
+    If,
+    IncDec,
+    Index,
+    InitList,
+    IntLiteral,
+    Member,
+    NullLiteral,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLiteral,
+    Switch,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.lang import types as ct
+from repro.lang.program import Program
+from repro.runtime.builtins import REGISTRY
+from repro.runtime.faults import (
+    HangFault,
+    SegmentationFault,
+    StackOverflowFault,
+)
+from repro.runtime.interpreter import (
+    Frame,
+    InterpreterError,
+    _BreakSignal,
+    _ContinueSignal,
+    _int_of,
+    _ReturnSignal,
+    _StaticMarker,
+    _values_equal,
+    binop,
+    cast_value,
+    deref_value,
+    index_slot,
+    index_value,
+    sizeof_value,
+    struct_from,
+)
+from repro.runtime.values import (
+    ArrayValue,
+    ElemSlot,
+    FieldSlot,
+    FunctionRef,
+    Pointer,
+    coerce,
+    truthy,
+    zero_value,
+)
+
+# Unique "absent" sentinel for single-probe dict lookups (a MiniC
+# variable can legitimately hold any Python value, including None).
+_MISSING = object()
+
+
+@dataclass
+class LaunchPlan:
+    """One program's compiled form, shared by all of its launches.
+
+    `bodies` maps function name -> body runner (``fn(rt) -> None``,
+    raising `_ReturnSignal` for explicit returns); `main_steps` holds
+    main's *top-level* statement closures individually, so the
+    warm-boot snapshot engine (`repro.runtime.snapshot`) can execute
+    and checkpoint between them.
+
+    `globals_pure` is true when no global initializer contains a call:
+    then the post-global-init interpreter state is a pure function of
+    the program (no OS reads, no ticks), and the snapshot engine fills
+    `globals_template` with a pickled copy so later launches restore
+    instead of re-running `_init_globals`.
+    """
+
+    program: Program
+    bodies: dict[str, Callable]
+    main_steps: tuple
+    globals_pure: bool = False
+    globals_template: bytes | None = None
+
+
+_PLANS_LOCK = threading.Lock()
+
+
+def plan_for(program: Program) -> LaunchPlan:
+    """The memoized compiled plan of a program (compiles on first use).
+
+    The plan is stored on the `Program` instance itself, so its
+    lifetime piggybacks on `SubjectSystem.program()` memoization: all
+    launches of a registered system share one compile, and the plan
+    dies with the program.
+    """
+    plan = getattr(program, "_launch_plan", None)
+    if plan is None:
+        with _PLANS_LOCK:
+            plan = getattr(program, "_launch_plan", None)
+            if plan is None:
+                plan = compile_program(program)
+                program._launch_plan = plan
+    return plan
+
+
+def compile_program(program: Program) -> LaunchPlan:
+    """Lower every function body of a program into closures."""
+    compiler = _Compiler(program)
+    bodies: dict[str, Callable] = {}
+    runners: dict[str, Callable] = {}
+    main_steps: tuple = ()
+    for name, fn in program.functions.items():
+        if fn.body is None:
+            continue
+        steps = tuple(compiler.stmt(s) for s in fn.body.statements)
+        runner = _body_runner(steps)
+        bodies[name] = runner
+        runners[name] = runner
+        if name == "main":
+            main_steps = steps
+    # Second pass: fill the invoke cells compiled `Call` closures read
+    # through, now that every body runner exists (recursion and
+    # forward calls need the two-phase wiring).
+    for name, cell in compiler.invoke_cells.items():
+        fn = program.functions[name]
+        cell[0] = _compile_invoke(fn, runners[name])
+    return LaunchPlan(
+        program=program,
+        bodies=bodies,
+        main_steps=main_steps,
+        globals_pure=_globals_are_pure(program),
+    )
+
+
+def _globals_are_pure(program: Program) -> bool:
+    """No global initializer contains a (direct or indirect) call -
+    the precondition for sharing one post-global-init state template
+    across launches."""
+    return not any(
+        decl.init is not None and _contains_call(decl.init)
+        for decl in program.globals.values()
+    )
+
+
+def _contains_call(expr: Expr) -> bool:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (Call, CallIndirect)):
+            return True
+        if not isinstance(node, Expr):
+            continue
+        for field_info in dataclass_fields(node):
+            value = getattr(node, field_info.name)
+            if isinstance(value, Expr):
+                stack.append(value)
+            elif isinstance(value, list):
+                stack.extend(v for v in value if isinstance(v, Expr))
+    return False
+
+
+def _compile_invoke(fn, body_runner: Callable) -> Callable:
+    """The compiled call protocol of one function.
+
+    Mirrors `Interpreter.call_function` (depth check, frame setup,
+    parameter coercion, return coercion, frame pop) with the
+    per-function facts - parameter list, variadic flag, return type,
+    and the return type's zero - resolved at compile time.
+    """
+    fname = fn.name
+    floc = fn.location
+    rtype = fn.return_type
+    params = tuple((p.name, p.type) for p in fn.params)
+    nparams = len(params)
+    variadic = fn.variadic
+    # `zero_value` yields a fresh mutable object only for array types;
+    # every other return type's zero is an immutable constant.
+    dynamic_zero = isinstance(rtype, ct.ArrayType)
+    zero_const = None if dynamic_zero else zero_value(rtype)
+
+    def invoke(rt, args):
+        frames = rt.frames
+        if len(frames) >= rt._max_call_depth:
+            raise StackOverflowFault(f"call depth exceeded in {fname}", floc)
+        frame = Frame(function=fname)
+        local_env = frame.locals
+        local_types = frame.local_types
+        if len(args) == nparams:
+            for (pname, ptype), value in zip(params, args):
+                local_env[pname] = coerce(ptype, value)
+                local_types[pname] = ptype
+        else:
+            nargs = len(args)
+            for i, (pname, ptype) in enumerate(params):
+                value = args[i] if i < nargs else zero_value(ptype)
+                local_env[pname] = coerce(ptype, value)
+                local_types[pname] = ptype
+        if variadic:
+            local_env["__varargs"] = list(args[nparams:])
+        frames.append(frame)
+        try:
+            body_runner(rt)
+            result = zero_value(rtype) if dynamic_zero else zero_const
+        except _ReturnSignal as ret:
+            result = coerce(rtype, ret.value)
+        finally:
+            frames.pop()
+        return result
+
+    return invoke
+
+
+def _body_runner(steps: tuple) -> Callable:
+    """A function body: its statements in order, un-ticked as a unit
+    (each statement closure ticks itself, exactly like `exec_block`
+    routing every child through `exec_stmt`)."""
+    if len(steps) == 1:
+        return steps[0]
+
+    def run(rt):
+        for step in steps:
+            step(rt)
+
+    return run
+
+
+def _budget(rt):
+    raise HangFault(f"step budget exceeded ({rt._max_steps} steps)")
+
+
+def _incdec_fallback(rt, name, operand_loc, loc, delta, prefix):
+    """++/-- on a name that is not a local: errno, a global, or an
+    undefined-variable error - the tree-walker's slot path verbatim."""
+    slot = rt._name_slot(name, operand_loc)
+    old = slot.get(loc)
+    if not isinstance(old, (int, float)):
+        raise SegmentationFault(f"++/-- on non-number {old!r}", loc)
+    slot.set(old + delta, loc)
+    return slot.get(loc) if prefix else old
+
+
+class _Compiler:
+    """Per-program AST -> closure lowering.
+
+    Compile methods return closures taking the running `Interpreter`
+    (`rt`) as their only argument; statement closures include the
+    statement-dispatch tick the tree-walker pays in `exec_stmt`.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        # name -> one-element list; `Call` closures read `cell[0]` at
+        # call time, `compile_program` fills the cells once every body
+        # runner exists.
+        self.invoke_cells: dict[str, list] = {}
+
+    def _invoke_cell(self, name: str) -> list:
+        cell = self.invoke_cells.get(name)
+        if cell is None:
+            cell = self.invoke_cells[name] = [None]
+        return cell
+
+    # -- dispatch -----------------------------------------------------------
+
+    def stmt(self, node: Stmt) -> Callable:
+        method = self._STMT.get(type(node))
+        if method is None:
+            # Mirror the tree-walker: unknown nodes fail when (and only
+            # when) executed, with the same message.
+            kind = type(node).__name__
+
+            def step(rt):
+                raise InterpreterError(f"unhandled statement {kind}")
+
+            return step
+        return method(self, node)
+
+    def expr(self, node: Expr) -> Callable:
+        method = self._EXPR.get(type(node))
+        if method is None:
+            kind = type(node).__name__
+
+            def ev(rt):
+                raise InterpreterError(f"unhandled expression {kind}")
+
+            return ev
+        return method(self, node)
+
+    # -- statements ---------------------------------------------------------
+
+    def _c_expr_stmt(self, node: ExprStmt) -> Callable:
+        ev = self.expr(node.expr)
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            ev(rt)
+
+        return step
+
+    def _c_var_decl(self, node: VarDecl) -> Callable:
+        name, typ, init = node.name, node.type, node.init
+        if init is None:
+            make = None
+        elif isinstance(init, InitList):
+            # Brace initializers reuse the interpreter's materializer
+            # (rare in function bodies, and it already matches the
+            # tree-walker by definition).
+            def make(rt):
+                return rt._materialize(typ, init)
+
+        else:
+            ev = self.expr(init)
+
+            def make(rt):
+                return coerce(typ, ev(rt))
+
+        if node.is_static:
+
+            def step(rt):
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                frame = rt.frames[-1]
+                key = (frame.function, name)
+                if key not in rt.statics:
+                    rt.static_types[key] = typ
+                    if make is not None:
+                        rt.statics[key] = make(rt)
+                    else:
+                        rt.statics[key] = rt._zero_for(typ)
+                frame.local_types[name] = typ
+                frame.locals[name] = _StaticMarker(key)
+
+            return step
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            frame = rt.frames[-1]
+            frame.local_types[name] = typ
+            if make is not None:
+                frame.locals[name] = make(rt)
+            else:
+                frame.locals[name] = rt._zero_for(typ)
+
+        return step
+
+    def _c_block(self, node: Block) -> Callable:
+        inner = tuple(self.stmt(s) for s in node.statements)
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            for s in inner:
+                s(rt)
+
+        return step
+
+    def _c_if(self, node: If) -> Callable:
+        cond = self.expr(node.cond)
+        then = self.stmt(node.then)
+        other = self.stmt(node.other) if node.other is not None else None
+        if other is None:
+
+            def step(rt):
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                value = cond(rt)
+                if (value != 0) if type(value) is int else truthy(value):
+                    then(rt)
+
+            return step
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            value = cond(rt)
+            if (value != 0) if type(value) is int else truthy(value):
+                then(rt)
+            else:
+                other(rt)
+
+        return step
+
+    def _c_while(self, node: While) -> Callable:
+        cond = self.expr(node.cond)
+        body = self.stmt(node.body)
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            while True:
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                value = cond(rt)
+                if not ((value != 0) if type(value) is int else truthy(value)):
+                    return
+                try:
+                    body(rt)
+                except _BreakSignal:
+                    return
+                except _ContinueSignal:
+                    continue
+
+        return step
+
+    def _c_do_while(self, node: DoWhile) -> Callable:
+        cond = self.expr(node.cond)
+        body = self.stmt(node.body)
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            while True:
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                try:
+                    body(rt)
+                except _BreakSignal:
+                    return
+                except _ContinueSignal:
+                    pass
+                value = cond(rt)
+                if not ((value != 0) if type(value) is int else truthy(value)):
+                    return
+
+        return step
+
+    def _c_for(self, node: For) -> Callable:
+        init = self.stmt(node.init) if node.init is not None else None
+        cond = self.expr(node.cond) if node.cond is not None else None
+        advance = self.expr(node.step) if node.step is not None else None
+        body = self.stmt(node.body)
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            if init is not None:
+                init(rt)
+            while True:
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                if cond is not None:
+                    value = cond(rt)
+                    if not (
+                        (value != 0) if type(value) is int else truthy(value)
+                    ):
+                        return
+                try:
+                    body(rt)
+                except _BreakSignal:
+                    return
+                except _ContinueSignal:
+                    pass
+                if advance is not None:
+                    advance(rt)
+
+        return step
+
+    def _c_switch(self, node: Switch) -> Callable:
+        subject = self.expr(node.subject)
+        arms = tuple(
+            (
+                self.expr(case.value) if case.value is not None else None,
+                tuple(self.stmt(s) for s in case.body),
+            )
+            for case in node.cases
+        )
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            value = subject(rt)
+            start = None
+            default = None
+            for i, (case_value, _) in enumerate(arms):
+                if case_value is None:
+                    default = i
+                elif _values_equal(value, case_value(rt)):
+                    start = i
+                    break
+            if start is None:
+                start = default
+            if start is None:
+                return
+            try:
+                for _, body in arms[start:]:
+                    for s in body:
+                        s(rt)
+            except _BreakSignal:
+                return
+
+        return step
+
+    def _c_break(self, node: Break) -> Callable:
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            raise _BreakSignal()
+
+        return step
+
+    def _c_continue(self, node: Continue) -> Callable:
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            raise _ContinueSignal()
+
+        return step
+
+    def _c_return(self, node: Return) -> Callable:
+        ev = self.expr(node.value) if node.value is not None else None
+        if ev is None:
+
+            def step(rt):
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                raise _ReturnSignal(None)
+
+            return step
+
+        def step(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            raise _ReturnSignal(ev(rt))
+
+        return step
+
+    # -- lvalues ------------------------------------------------------------
+
+    def slot(self, node: Expr) -> Callable:
+        if isinstance(node, Identifier):
+            name, loc = node.name, node.location
+
+            def resolve(rt):
+                return rt._name_slot(name, loc)
+
+            return resolve
+        if isinstance(node, Member):
+            base = self.expr(node.base)
+            fname, loc = node.field_name, node.location
+
+            def resolve(rt):
+                return FieldSlot(struct_from(base(rt), fname, loc), fname)
+
+            return resolve
+        if isinstance(node, Index):
+            base = self.expr(node.base)
+            index = self.expr(node.index)
+            loc = node.location
+
+            def resolve(rt):
+                return index_slot(base(rt), index(rt), loc)
+
+            return resolve
+        if isinstance(node, Unary) and node.op == "*":
+            operand = self.expr(node.operand)
+            loc = node.location
+
+            def resolve(rt):
+                target = operand(rt)
+                if target is None:
+                    raise SegmentationFault("NULL pointer dereference", loc)
+                if isinstance(target, Pointer):
+                    return target.slot
+                if isinstance(target, ArrayValue):
+                    return ElemSlot(target, 0)
+                raise SegmentationFault(
+                    f"dereferencing non-pointer {target!r}", loc
+                )
+
+            return resolve
+        loc = node.location
+
+        def resolve(rt):
+            raise InterpreterError(f"{loc}: expression is not assignable")
+
+        return resolve
+
+    # -- expressions --------------------------------------------------------
+
+    def _c_literal(self, node) -> Callable:
+        value = node.value
+        return lambda rt: value
+
+    def _c_bool(self, node: BoolLiteral) -> Callable:
+        value = 1 if node.value else 0
+        return lambda rt: value
+
+    def _c_null(self, node: NullLiteral) -> Callable:
+        return lambda rt: None
+
+    def _c_identifier(self, node: Identifier) -> Callable:
+        name, loc = node.name, node.location
+        # A program is immutable once compiled, so whether the name
+        # can denote a function is a compile-time fact.
+        is_function = (
+            self.program.has_function(name) or name in self.program.prototypes
+        )
+
+        def ev(rt):
+            frames = rt.frames
+            if frames:
+                value = frames[-1].locals.get(name, _MISSING)
+                if value is not _MISSING:
+                    if type(value) is _StaticMarker:
+                        return rt.statics[value.key]
+                    return value
+            if name == "errno":
+                return rt.errno
+            value = rt.globals.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            if is_function:
+                # A fresh ref per evaluation, like the tree-walker
+                # (function-ref equality is identity-based).
+                return FunctionRef(name)
+            raise InterpreterError(f"{loc}: undefined identifier {name!r}")
+
+        return ev
+
+    def _c_unary(self, node: Unary) -> Callable:
+        op, loc = node.op, node.location
+        if op == "&":
+            resolve = self.slot(node.operand)
+            return lambda rt: Pointer(resolve(rt))
+        operand = self.expr(node.operand)
+        if op == "*":
+            return lambda rt: deref_value(operand(rt), loc)
+        if op == "!":
+            return lambda rt: 0 if truthy(operand(rt)) else 1
+        if op == "-":
+
+            def ev(rt):
+                value = operand(rt)
+                if isinstance(value, (int, float)):
+                    return -value
+                raise SegmentationFault(f"negating non-number {value!r}", loc)
+
+            return ev
+        if op == "~":
+            return lambda rt: ~_int_of(operand(rt), loc)
+
+        def ev(rt):
+            raise InterpreterError(f"unhandled unary {op}")
+
+        return ev
+
+    def _c_incdec(self, node: IncDec) -> Callable:
+        loc = node.location
+        delta = 1 if node.op == "++" else -1
+        prefix = node.prefix
+        if isinstance(node.operand, Identifier):
+            # Loop counters are the hottest ++/-- by far: inline the
+            # name slot (mirroring `_name_slot` + `VarSlot` get/set,
+            # including the declared-type coercion on write).
+            name = node.operand.name
+            operand_loc = node.operand.location
+
+            def ev(rt):
+                frames = rt.frames
+                if frames:
+                    frame = frames[-1]
+                    local_env = frame.locals
+                    current = local_env.get(name, _MISSING)
+                    if current is not _MISSING:
+                        if type(current) is _StaticMarker:
+                            key = current.key
+                            env = rt.statics
+                            slot_key = key
+                            typ = rt.static_types.get(key)
+                            current = env[slot_key]
+                        else:
+                            env = local_env
+                            slot_key = name
+                            typ = frame.local_types.get(name)
+                        if type(current) is int:
+                            if typ is None:
+                                env[slot_key] = new = current + delta
+                            elif type(typ) is ct.IntType:
+                                env[slot_key] = new = typ.wrap(
+                                    current + delta
+                                )
+                            else:
+                                env[slot_key] = new = coerce(
+                                    typ, current + delta
+                                )
+                            return new if prefix else current
+                        if not isinstance(current, (int, float)):
+                            raise SegmentationFault(
+                                f"++/-- on non-number {current!r}", loc
+                            )
+                        env[slot_key] = coerce(typ, current + delta)
+                        return env[slot_key] if prefix else current
+                return _incdec_fallback(rt, name, operand_loc, loc, delta, prefix)
+
+            return ev
+        resolve = self.slot(node.operand)
+
+        def ev(rt):
+            slot = resolve(rt)
+            old = slot.get(loc)
+            if not isinstance(old, (int, float)):
+                raise SegmentationFault(f"++/-- on non-number {old!r}", loc)
+            slot.set(old + delta, loc)
+            return slot.get(loc) if prefix else old
+
+        return ev
+
+    def _c_binary(self, node: Binary) -> Callable:
+        op, loc = node.op, node.location
+        if op == "&&":
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+
+            def ev(rt):
+                if not truthy(left(rt)):
+                    return 0
+                return 1 if truthy(right(rt)) else 0
+
+            return ev
+        if op == "||":
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+
+            def ev(rt):
+                if truthy(left(rt)):
+                    return 1
+                return 1 if truthy(right(rt)) else 0
+
+            return ev
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        # Equality goes straight to the shared value comparison.
+        if op == "==":
+
+            def ev(rt):
+                return 1 if _values_equal(left(rt), right(rt)) else 0
+
+            return ev
+        if op == "!=":
+
+            def ev(rt):
+                return 0 if _values_equal(left(rt), right(rt)) else 1
+
+            return ev
+        # Int/int fast paths for the hottest arithmetic/ordering ops;
+        # anything else falls back to the shared `binop` (which, for
+        # two ints, computes exactly the fast-path result).  `type(x)
+        # is int` deliberately excludes bool so the fallback keeps its
+        # normalization duties.
+        if op == "+":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return lhs + rhs
+                return binop("+", lhs, rhs, loc)
+
+            return ev
+        if op == "-":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return lhs - rhs
+                return binop("-", lhs, rhs, loc)
+
+            return ev
+        if op == "<":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return 1 if lhs < rhs else 0
+                return binop("<", lhs, rhs, loc)
+
+            return ev
+        if op == ">":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return 1 if lhs > rhs else 0
+                return binop(">", lhs, rhs, loc)
+
+            return ev
+        if op == "<=":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return 1 if lhs <= rhs else 0
+                return binop("<=", lhs, rhs, loc)
+
+            return ev
+        if op == ">=":
+
+            def ev(rt):
+                lhs = left(rt)
+                rhs = right(rt)
+                if type(lhs) is int and type(rhs) is int:
+                    return 1 if lhs >= rhs else 0
+                return binop(">=", lhs, rhs, loc)
+
+            return ev
+
+        def ev(rt):
+            return binop(op, left(rt), right(rt), loc)
+
+        return ev
+
+    def _c_conditional(self, node: Conditional) -> Callable:
+        cond = self.expr(node.cond)
+        then = self.expr(node.then)
+        other = self.expr(node.other)
+
+        def ev(rt):
+            return then(rt) if truthy(cond(rt)) else other(rt)
+
+        return ev
+
+    def _c_assign(self, node: Assign) -> Callable:
+        if isinstance(node.target, Identifier):
+            return self._c_assign_name(node)
+        resolve = self.slot(node.target)
+        value = self.expr(node.value)
+        loc = node.location
+        if node.op == "=":
+
+            def ev(rt):
+                slot = resolve(rt)
+                slot.set(value(rt), loc)
+                return slot.get(loc)
+
+            return ev
+        sub_op = node.op[:-1]
+
+        def ev(rt):
+            slot = resolve(rt)
+            rhs = value(rt)
+            slot.set(binop(sub_op, slot.get(loc), rhs, loc), loc)
+            return slot.get(loc)
+
+        return ev
+
+    def _c_assign_name(self, node: Assign) -> Callable:
+        """Assignment to a plain name, with the slot machinery inlined.
+
+        Mirrors `_name_slot` + `VarSlot`/`_ErrnoSlot` set/get exactly:
+        name resolution happens *before* the value is evaluated (an
+        undefined variable raises without evaluating the right-hand
+        side, like `resolve_slot` does), writes coerce through the
+        declared type, and the expression's value is the slot re-read
+        after the write.
+        """
+        name = node.target.name
+        loc = node.location
+        target_loc = node.target.location  # resolve_slot reports here
+        value_ev = self.expr(node.value)
+        compound = None if node.op == "=" else node.op[:-1]
+
+        def ev(rt):
+            frames = rt.frames
+            if frames:
+                frame = frames[-1]
+                local_env = frame.locals
+                current = local_env.get(name, _MISSING)
+                if current is not _MISSING:
+                    if type(current) is _StaticMarker:
+                        key = current.key
+                        env = rt.statics
+                        slot_key = key
+                        typ = rt.static_types.get(key)
+                    else:
+                        env = local_env
+                        slot_key = name
+                        typ = frame.local_types.get(name)
+                    rhs = value_ev(rt)
+                    if compound is not None:
+                        rhs = binop(compound, env[slot_key], rhs, loc)
+                    env[slot_key] = coerce(typ, rhs)
+                    return env[slot_key]
+            if name == "errno":
+                rhs = value_ev(rt)
+                if compound is not None:
+                    rhs = binop(compound, rt.errno, rhs, loc)
+                rt.errno = int(rhs) if isinstance(rhs, (int, float)) else 0
+                return rt.errno
+            global_env = rt.globals
+            if name in global_env:
+                typ = rt.global_types.get(name)
+                rhs = value_ev(rt)
+                if compound is not None:
+                    rhs = binop(compound, global_env[name], rhs, loc)
+                global_env[name] = coerce(typ, rhs)
+                return global_env[name]
+            raise InterpreterError(
+                f"{target_loc}: undefined variable {name!r}"
+            )
+
+        return ev
+
+    def _c_call(self, node: Call) -> Callable:
+        callee, loc = node.callee, node.location
+        arg_evs = tuple(self.expr(arg) for arg in node.args)
+        if self.program.has_function(callee):
+            # Pre-bind through an invoke cell: the program's function
+            # table is fixed once compiled, so the per-call
+            # `has_function` + table lookup + generic `call_function`
+            # of the tree-walker fold into one compiled call protocol.
+            cell = self._invoke_cell(callee)
+            if len(arg_evs) == 0:
+
+                def ev(rt):
+                    rt.steps = steps = rt.steps + 1
+                    if steps > rt._max_steps:
+                        _budget(rt)
+                    return cell[0](rt, ())
+
+                return ev
+            if len(arg_evs) == 1:
+                arg0 = arg_evs[0]
+
+                def ev(rt):
+                    rt.steps = steps = rt.steps + 1
+                    if steps > rt._max_steps:
+                        _budget(rt)
+                    return cell[0](rt, (arg0(rt),))
+
+                return ev
+            if len(arg_evs) == 2:
+                arg0, arg1 = arg_evs
+
+                def ev(rt):
+                    rt.steps = steps = rt.steps + 1
+                    if steps > rt._max_steps:
+                        _budget(rt)
+                    return cell[0](rt, (arg0(rt), arg1(rt)))
+
+                return ev
+
+            def ev(rt):
+                rt.steps = steps = rt.steps + 1
+                if steps > rt._max_steps:
+                    _budget(rt)
+                return cell[0](rt, [arg(rt) for arg in arg_evs])
+
+            return ev
+
+        # Not a program function at compile time: almost certainly a
+        # builtin.  The registry stays late-bound (it is populated at
+        # import time but remains extensible), so look the builtin up
+        # per call; the miss path falls back to the tree-walker's full
+        # resolution for its exact error behaviour.
+        registry_get = REGISTRY.get
+
+        def ev(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            args = [arg(rt) for arg in arg_evs]
+            builtin = registry_get(callee)
+            if builtin is not None:
+                return builtin(rt, args, loc)
+            return rt._call_builtin_or_user(callee, args, loc)
+
+        return ev
+
+    def _c_call_indirect(self, node: CallIndirect) -> Callable:
+        func = self.expr(node.func)
+        loc = node.location
+        arg_evs = tuple(self.expr(arg) for arg in node.args)
+
+        def ev(rt):
+            rt.steps = steps = rt.steps + 1
+            if steps > rt._max_steps:
+                _budget(rt)
+            target = func(rt)
+            if target is None:
+                raise SegmentationFault(
+                    "call through NULL function pointer", loc
+                )
+            if not isinstance(target, FunctionRef):
+                raise SegmentationFault(
+                    f"call through non-function value {target!r}", loc
+                )
+            args = [arg(rt) for arg in arg_evs]
+            return rt._call_builtin_or_user(target.name, args, loc)
+
+        return ev
+
+    def _c_member(self, node: Member) -> Callable:
+        base = self.expr(node.base)
+        fname, loc = node.field_name, node.location
+
+        def ev(rt):
+            return struct_from(base(rt), fname, loc).get(fname, loc)
+
+        return ev
+
+    def _c_index(self, node: Index) -> Callable:
+        base = self.expr(node.base)
+        index = self.expr(node.index)
+        loc = node.location
+
+        def ev(rt):
+            return index_value(base(rt), index(rt), loc)
+
+        return ev
+
+    def _c_cast(self, node: Cast) -> Callable:
+        typ = node.type
+        operand = self.expr(node.operand)
+        return lambda rt: cast_value(typ, operand(rt))
+
+    def _c_sizeof(self, node: SizeOf) -> Callable:
+        # Struct tables are fixed once linked: sizeof is a constant.
+        value = sizeof_value(node.type, self.program.structs)
+        return lambda rt: value
+
+    def _c_initlist(self, node: InitList) -> Callable:
+        items = tuple(self.expr(item) for item in node.items)
+
+        def ev(rt):
+            return ArrayValue(None, [item(rt) for item in items])
+
+        return ev
+
+    _STMT = {
+        ExprStmt: _c_expr_stmt,
+        VarDecl: _c_var_decl,
+        Block: _c_block,
+        If: _c_if,
+        While: _c_while,
+        DoWhile: _c_do_while,
+        For: _c_for,
+        Switch: _c_switch,
+        Break: _c_break,
+        Continue: _c_continue,
+        Return: _c_return,
+    }
+
+    _EXPR = {
+        IntLiteral: _c_literal,
+        FloatLiteral: _c_literal,
+        StringLiteral: _c_literal,
+        CharLiteral: _c_literal,
+        BoolLiteral: _c_bool,
+        NullLiteral: _c_null,
+        Identifier: _c_identifier,
+        Unary: _c_unary,
+        IncDec: _c_incdec,
+        Binary: _c_binary,
+        Conditional: _c_conditional,
+        Assign: _c_assign,
+        Call: _c_call,
+        CallIndirect: _c_call_indirect,
+        Member: _c_member,
+        Index: _c_index,
+        Cast: _c_cast,
+        SizeOf: _c_sizeof,
+        InitList: _c_initlist,
+    }

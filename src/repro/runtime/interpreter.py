@@ -107,6 +107,18 @@ class InterpreterOptions:
     # inside CPython's default recursion limit while still letting
     # runaway recursion manifest as a SIGSEGV-style fault.
     max_call_depth: int = 100
+    # Which launch engine executes function bodies: "compiled" lowers
+    # the AST once into bound Python closures (`repro.runtime.compile`)
+    # and is the default; "tree" is the original tree-walking
+    # interpreter, kept as the reference semantics for the
+    # differential parity suite.  The two are bit-identical by
+    # contract (same verdicts, logs, steps, faults).
+    engine: str = "compiled"
+    # Warm-boot snapshots (`repro.runtime.snapshot`): replay a
+    # config's boot prefix from a captured state copy instead of
+    # re-interpreting it on every launch.  Read by the harness layer;
+    # results are identical either way, only the work differs.
+    warm_boot: bool = True
 
     def fingerprint(self) -> str:
         """Stable content hash of every execution knob.
@@ -120,7 +132,7 @@ class InterpreterOptions:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     function: str
     locals: dict = field(default_factory=dict)
@@ -130,15 +142,57 @@ class Frame:
 class Interpreter:
     """One process execution of a MiniC program."""
 
+    __slots__ = (
+        "program",
+        "os",
+        "options",
+        "plan",
+        "_compiled_bodies",
+        "_max_steps",
+        "_max_call_depth",
+        "globals",
+        "global_types",
+        "statics",
+        "static_types",
+        "frames",
+        "fd_table",
+        "_fd_counter",
+        "errno",
+        "rand_state",
+        "steps",
+        "_field_type_tables",
+    )
+
+    #: Everything that evolves during one run - what a warm-boot
+    #: snapshot must capture (`repro.runtime.snapshot`).  `os` is part
+    #: of the bundle so one deepcopy preserves any sharing between
+    #: interpreter values and OS state.
+    STATE_FIELDS = (
+        "globals",
+        "global_types",
+        "statics",
+        "static_types",
+        "frames",
+        "fd_table",
+        "_fd_counter",
+        "errno",
+        "rand_state",
+        "steps",
+        "os",
+    )
+
     def __init__(
         self,
         program: Program,
         os_model: EmulatedOS | None = None,
         options: InterpreterOptions | None = None,
+        plan=None,
     ):
         self.program = program
         self.os = os_model if os_model is not None else EmulatedOS()
         self.options = options or InterpreterOptions()
+        self._bind_plan(plan)
+        self._field_type_tables: dict[str, dict] = {}
         self.globals: dict[str, object] = {}
         self.global_types: dict[str, ct.CType] = {}
         self.statics: dict[tuple[str, str], object] = {}
@@ -151,6 +205,49 @@ class Interpreter:
         self.steps = 0
         self._init_streams()
         self._init_globals()
+
+    def _bind_plan(self, plan) -> None:
+        """Attach a compiled `LaunchPlan` (or None for tree-walking).
+
+        `_max_steps` is memoized off the options because the budget
+        check sits on the per-statement hot path of both engines; the
+        options must not be mutated after construction.
+        """
+        self.plan = plan
+        self._compiled_bodies = plan.bodies if plan is not None else {}
+        self._max_steps = self.options.max_steps
+        self._max_call_depth = self.options.max_call_depth
+
+    # -- snapshot support ---------------------------------------------------
+
+    def state_bundle(self) -> dict[str, object]:
+        """The mutable run state, as one bundle (not copied).
+
+        Snapshot callers deep-copy the whole bundle in a single pass so
+        identity relations between entries (a `Pointer` into the
+        globals dict, a `FileHandle` shared with the fd table) survive
+        the copy.
+        """
+        return {name: getattr(self, name) for name in self.STATE_FIELDS}
+
+    @classmethod
+    def from_state(
+        cls,
+        program: Program,
+        state: dict[str, object],
+        options: InterpreterOptions | None = None,
+        plan=None,
+    ) -> "Interpreter":
+        """Rebuild an interpreter from a (copied) state bundle without
+        re-running global initialization - the warm-boot restore path."""
+        interp = cls.__new__(cls)
+        interp.program = program
+        interp.options = options or InterpreterOptions()
+        interp._bind_plan(plan)
+        interp._field_type_tables = {}
+        for name in cls.STATE_FIELDS:
+            setattr(interp, name, state[name])
+        return interp
 
     # -- setup ---------------------------------------------------------
 
@@ -181,10 +278,16 @@ class Interpreter:
 
     def _new_struct(self, struct_name: str) -> StructValue:
         sdef = self.program.struct_def(struct_name)
-        field_types: dict[str, ct.CType] = {}
-        value = StructValue(struct_name, {f.name: f.type for f in sdef.fields})
+        # One field-type table per struct *type*, shared by every
+        # instance: `field_types` is read-only after construction, and
+        # sharing it keeps warm-boot snapshot blobs small (pickle
+        # stores the dict once per bundle instead of once per value).
+        field_types = self._field_type_tables.get(struct_name)
+        if field_types is None:
+            field_types = {f.name: f.type for f in sdef.fields}
+            self._field_type_tables[struct_name] = field_types
+        value = StructValue(struct_name, field_types)
         for f in sdef.fields:
-            field_types[f.name] = f.type
             if isinstance(f.type, ct.StructType):
                 value.fields[f.name] = self._new_struct(f.type.name)
             elif isinstance(f.type, ct.ArrayType):
@@ -233,8 +336,8 @@ class Interpreter:
 
     def _tick(self) -> None:
         self.steps += 1
-        if self.steps > self.options.max_steps:
-            raise HangFault(f"step budget exceeded ({self.options.max_steps} steps)")
+        if self.steps > self._max_steps:
+            raise HangFault(f"step budget exceeded ({self._max_steps} steps)")
 
     # -- entry ---------------------------------------------------------------
 
@@ -261,7 +364,7 @@ class Interpreter:
     # -- function calls --------------------------------------------------------
 
     def call_function(self, fn: FunctionDef, args: list[object]) -> object:
-        if len(self.frames) >= self.options.max_call_depth:
+        if len(self.frames) >= self._max_call_depth:
             raise StackOverflowFault(
                 f"call depth exceeded in {fn.name}", fn.location
             )
@@ -275,7 +378,11 @@ class Interpreter:
         self.frames.append(frame)
         try:
             if fn.body is not None:
-                self.exec_block(fn.body)
+                runner = self._compiled_bodies.get(fn.name)
+                if runner is not None:
+                    runner(self)
+                else:
+                    self.exec_block(fn.body)
             result: object = zero_value(fn.return_type)
         except _ReturnSignal as ret:
             result = coerce(fn.return_type, ret.value)
@@ -418,21 +525,7 @@ class Interpreter:
         if isinstance(expr, Index):
             base = self.eval(expr.base)
             index = self.eval(expr.index)
-            if base is None:
-                raise SegmentationFault("indexing NULL pointer", expr.location)
-            if isinstance(base, ArrayValue):
-                if not isinstance(index, int):
-                    raise SegmentationFault(
-                        f"non-integer index {index!r}", expr.location
-                    )
-                return ElemSlot(base, index)
-            if isinstance(base, str):
-                raise SegmentationFault(
-                    "write into string literal", expr.location
-                )
-            raise SegmentationFault(
-                f"indexing non-array value {base!r}", expr.location
-            )
+            return index_slot(base, index, expr.location)
         if isinstance(expr, Unary) and expr.op == "*":
             target = self.eval(expr.operand)
             if target is None:
@@ -464,23 +557,7 @@ class Interpreter:
         raise InterpreterError(f"{location}: undefined variable {name!r}")
 
     def _struct_from(self, base: object, expr: Member) -> StructValue:
-        if base is None:
-            raise SegmentationFault(
-                f"NULL dereference accessing field {expr.field_name!r}",
-                expr.location,
-            )
-        if isinstance(base, Pointer):
-            base = base.deref(expr.location)
-            if base is None:
-                raise SegmentationFault(
-                    f"NULL dereference accessing field {expr.field_name!r}",
-                    expr.location,
-                )
-        if isinstance(base, StructValue):
-            return base
-        raise SegmentationFault(
-            f"field access on non-struct value {base!r}", expr.location
-        )
+        return struct_from(base, expr.field_name, expr.location)
 
     # -- expressions --------------------------------------------------------
 
@@ -540,15 +617,7 @@ class Interpreter:
         raise InterpreterError(f"unhandled unary {expr.op}")
 
     def _deref_value(self, value: object, location: Location):
-        if value is None:
-            raise SegmentationFault("NULL pointer dereference", location)
-        if isinstance(value, Pointer):
-            return value.deref(location)
-        if isinstance(value, str):
-            return ord(value[0]) if value else 0
-        if isinstance(value, ArrayValue):
-            return value.get(0, location)
-        raise SegmentationFault(f"dereferencing non-pointer {value!r}", location)
+        return deref_value(value, location)
 
     def _eval_incdec(self, expr: IncDec):
         slot = self.resolve_slot(expr.operand)
@@ -576,58 +645,7 @@ class Interpreter:
         return self._binop(op, left, right, expr.location)
 
     def _binop(self, op: str, left, right, loc: Location):
-        if op == "==":
-            return 1 if _values_equal(left, right) else 0
-        if op == "!=":
-            return 0 if _values_equal(left, right) else 1
-        if op in ("<", ">", "<=", ">="):
-            lnum = _compare_key(left, loc)
-            rnum = _compare_key(right, loc)
-            result = {
-                "<": lnum < rnum,
-                ">": lnum > rnum,
-                "<=": lnum <= rnum,
-                ">=": lnum >= rnum,
-            }[op]
-            return 1 if result else 0
-        # Pointer-style arithmetic on strings: s + n advances.
-        if op == "+" and isinstance(left, str) and isinstance(right, int):
-            return left[min(right, len(left)) :] if right >= 0 else left
-        if op == "+" and isinstance(right, str) and isinstance(left, int):
-            return right[min(left, len(right)) :] if left >= 0 else right
-        lnum = _number_of(left, loc)
-        rnum = _number_of(right, loc)
-        if op == "+":
-            return lnum + rnum
-        if op == "-":
-            return lnum - rnum
-        if op == "*":
-            return lnum * rnum
-        if op == "/":
-            if rnum == 0:
-                raise DivisionFault("division by zero", loc)
-            if isinstance(lnum, int) and isinstance(rnum, int):
-                q = abs(lnum) // abs(rnum)
-                return q if (lnum >= 0) == (rnum >= 0) else -q
-            return lnum / rnum
-        if op == "%":
-            if rnum == 0:
-                raise DivisionFault("modulo by zero", loc)
-            li, ri = int(lnum), int(rnum)
-            r = abs(li) % abs(ri)
-            return r if li >= 0 else -r
-        li, ri = _int_of(left, loc), _int_of(right, loc)
-        if op == "<<":
-            return li << (ri & 63)
-        if op == ">>":
-            return li >> (ri & 63)
-        if op == "&":
-            return li & ri
-        if op == "|":
-            return li | ri
-        if op == "^":
-            return li ^ ri
-        raise InterpreterError(f"unhandled binary {op}")
+        return binop(op, left, right, loc)
 
     def _eval_conditional(self, expr: Conditional):
         if truthy(self.eval(expr.cond)):
@@ -668,49 +686,13 @@ class Interpreter:
     def _eval_index(self, expr: Index):
         base = self.eval(expr.base)
         index = self.eval(expr.index)
-        if base is None:
-            raise SegmentationFault("indexing NULL pointer", expr.location)
-        if isinstance(base, str):
-            if not isinstance(index, int):
-                raise SegmentationFault("non-integer string index", expr.location)
-            if index == len(base):
-                return 0  # the terminating NUL
-            if 0 <= index < len(base):
-                return ord(base[index])
-            raise SegmentationFault(
-                f"string index {index} out of bounds", expr.location
-            )
-        if isinstance(base, ArrayValue):
-            if not isinstance(index, int):
-                raise SegmentationFault("non-integer array index", expr.location)
-            return base.get(index, expr.location)
-        raise SegmentationFault(f"indexing non-array {base!r}", expr.location)
+        return index_value(base, index, expr.location)
 
     def _eval_cast(self, expr: Cast):
-        value = self.eval(expr.operand)
-        typ = expr.type
-        if isinstance(typ, ct.IntType) and isinstance(value, (int, float, bool)):
-            return typ.wrap(int(value))
-        if isinstance(typ, ct.FloatType) and isinstance(value, (int, float)):
-            return float(value)
-        if isinstance(typ, ct.BoolType):
-            return 1 if truthy(value) else 0
-        return value
+        return cast_value(expr.type, self.eval(expr.operand))
 
     def _eval_sizeof(self, expr: SizeOf):
-        typ = expr.type
-        if isinstance(typ, ct.IntType):
-            return typ.bits // 8
-        if isinstance(typ, ct.FloatType):
-            return typ.bits // 8
-        if isinstance(typ, ct.PointerType):
-            return 8
-        if isinstance(typ, ct.BoolType):
-            return 1
-        if isinstance(typ, ct.StructType):
-            sdef = self.program.structs.get(typ.name)
-            return 8 * len(sdef.fields) if sdef else 8
-        return 8
+        return sizeof_value(expr.type, self.program.structs)
 
     def _eval_initlist(self, expr: InitList):
         return ArrayValue(None, [self.eval(item) for item in expr.items])
@@ -776,6 +758,164 @@ def _int_of(value, loc) -> int:
     if isinstance(value, (int, float)):
         return int(value)
     raise SegmentationFault(f"integer operation on {value!r}", loc)
+
+
+# -- shared value semantics ---------------------------------------------------
+#
+# These module-level helpers are the single implementation of MiniC's
+# value-level semantics, used by both the tree-walking methods above
+# and the closure compiler (`repro.runtime.compile`).  Sharing them is
+# what makes the two engines bit-identical by construction for
+# everything below statement/expression dispatch.
+
+
+def binop(op: str, left, right, loc: Location):
+    """Evaluate one binary operator with C-ish semantics."""
+    if op == "==":
+        return 1 if _values_equal(left, right) else 0
+    if op == "!=":
+        return 0 if _values_equal(left, right) else 1
+    if op in ("<", ">", "<=", ">="):
+        lnum = _compare_key(left, loc)
+        rnum = _compare_key(right, loc)
+        result = {
+            "<": lnum < rnum,
+            ">": lnum > rnum,
+            "<=": lnum <= rnum,
+            ">=": lnum >= rnum,
+        }[op]
+        return 1 if result else 0
+    # Pointer-style arithmetic on strings: s + n advances.
+    if op == "+" and isinstance(left, str) and isinstance(right, int):
+        return left[min(right, len(left)) :] if right >= 0 else left
+    if op == "+" and isinstance(right, str) and isinstance(left, int):
+        return right[min(left, len(right)) :] if left >= 0 else right
+    lnum = _number_of(left, loc)
+    rnum = _number_of(right, loc)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "/":
+        if rnum == 0:
+            raise DivisionFault("division by zero", loc)
+        if isinstance(lnum, int) and isinstance(rnum, int):
+            q = abs(lnum) // abs(rnum)
+            return q if (lnum >= 0) == (rnum >= 0) else -q
+        return lnum / rnum
+    if op == "%":
+        if rnum == 0:
+            raise DivisionFault("modulo by zero", loc)
+        li, ri = int(lnum), int(rnum)
+        r = abs(li) % abs(ri)
+        return r if li >= 0 else -r
+    li, ri = _int_of(left, loc), _int_of(right, loc)
+    if op == "<<":
+        return li << (ri & 63)
+    if op == ">>":
+        return li >> (ri & 63)
+    if op == "&":
+        return li & ri
+    if op == "|":
+        return li | ri
+    if op == "^":
+        return li ^ ri
+    raise InterpreterError(f"unhandled binary {op}")
+
+
+def deref_value(value: object, location: Location):
+    """`*value` in rvalue position."""
+    if value is None:
+        raise SegmentationFault("NULL pointer dereference", location)
+    if isinstance(value, Pointer):
+        return value.deref(location)
+    if isinstance(value, str):
+        return ord(value[0]) if value else 0
+    if isinstance(value, ArrayValue):
+        return value.get(0, location)
+    raise SegmentationFault(f"dereferencing non-pointer {value!r}", location)
+
+
+def struct_from(base: object, field_name: str, location: Location) -> StructValue:
+    """Resolve the struct a member access reads through (auto-deref)."""
+    if base is None:
+        raise SegmentationFault(
+            f"NULL dereference accessing field {field_name!r}", location
+        )
+    if isinstance(base, Pointer):
+        base = base.deref(location)
+        if base is None:
+            raise SegmentationFault(
+                f"NULL dereference accessing field {field_name!r}", location
+            )
+    if isinstance(base, StructValue):
+        return base
+    raise SegmentationFault(
+        f"field access on non-struct value {base!r}", location
+    )
+
+
+def index_value(base, index, location: Location):
+    """`base[index]` in rvalue position (strings index to char codes)."""
+    if base is None:
+        raise SegmentationFault("indexing NULL pointer", location)
+    if isinstance(base, str):
+        if not isinstance(index, int):
+            raise SegmentationFault("non-integer string index", location)
+        if index == len(base):
+            return 0  # the terminating NUL
+        if 0 <= index < len(base):
+            return ord(base[index])
+        raise SegmentationFault(
+            f"string index {index} out of bounds", location
+        )
+    if isinstance(base, ArrayValue):
+        if not isinstance(index, int):
+            raise SegmentationFault("non-integer array index", location)
+        return base.get(index, location)
+    raise SegmentationFault(f"indexing non-array {base!r}", location)
+
+
+def index_slot(base, index, location: Location) -> Slot:
+    """`base[index]` in lvalue position."""
+    if base is None:
+        raise SegmentationFault("indexing NULL pointer", location)
+    if isinstance(base, ArrayValue):
+        if not isinstance(index, int):
+            raise SegmentationFault(f"non-integer index {index!r}", location)
+        return ElemSlot(base, index)
+    if isinstance(base, str):
+        raise SegmentationFault("write into string literal", location)
+    raise SegmentationFault(f"indexing non-array value {base!r}", location)
+
+
+def cast_value(typ: ct.CType, value: object):
+    """C cast semantics: integer wrap, float widening, bool collapse."""
+    if isinstance(typ, ct.IntType) and isinstance(value, (int, float, bool)):
+        return typ.wrap(int(value))
+    if isinstance(typ, ct.FloatType) and isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(typ, ct.BoolType):
+        return 1 if truthy(value) else 0
+    return value
+
+
+def sizeof_value(typ: ct.CType, structs: dict) -> int:
+    """sizeof(type); struct sizes read the program's struct table."""
+    if isinstance(typ, ct.IntType):
+        return typ.bits // 8
+    if isinstance(typ, ct.FloatType):
+        return typ.bits // 8
+    if isinstance(typ, ct.PointerType):
+        return 8
+    if isinstance(typ, ct.BoolType):
+        return 1
+    if isinstance(typ, ct.StructType):
+        sdef = structs.get(typ.name)
+        return 8 * len(sdef.fields) if sdef else 8
+    return 8
 
 
 Interpreter._EXPR_DISPATCH = {

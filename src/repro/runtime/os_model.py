@@ -10,6 +10,7 @@ observable channel the paper uses on real systems.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 
@@ -61,6 +62,11 @@ class EmulatedOS:
         self.requests: list[str] = []
         self.responses: list[str] = []
         self._request_cursor = 0
+        # Total `next_request` polls, including empty-queue ones.  The
+        # warm-boot snapshot engine watches this to find the statement
+        # during which a launch first touches the request queue - the
+        # point up to which execution is request-independent.
+        self.request_polls = 0
         self.add_dir("/")
         self.add_dir("/etc")
         self.add_dir("/var")
@@ -143,6 +149,7 @@ class EmulatedOS:
         self.responses = []
 
     def next_request(self) -> str | None:
+        self.request_polls += 1
         if self._request_cursor >= len(self.requests):
             return None
         req = self.requests[self._request_cursor]
@@ -161,6 +168,20 @@ class EmulatedOS:
 
     def log_text(self) -> str:
         return "\n".join(str(r) for r in self.logs)
+
+    # -- copy semantics ---------------------------------------------------------
+
+    def clone(self) -> "EmulatedOS":
+        """An independent deep copy of this OS state.
+
+        Mutating the clone (or the original) never affects the other;
+        used by warm-boot snapshots and anything else that needs to
+        branch a deterministic world.  Callers that must preserve
+        object identity *between* the OS and interpreter values deep-
+        copy the interpreter's whole state bundle instead (the OS is
+        part of it) - `copy.deepcopy` composes either way.
+        """
+        return copy.deepcopy(self)
 
 
 def valid_ipv4(text: str) -> bool:

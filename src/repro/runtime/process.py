@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import enum
+import functools
 import re
 from dataclasses import dataclass, field
 
 from repro.lang.program import Program
 from repro.lang.source import Location
+from repro.runtime.compile import plan_for
 from repro.runtime.faults import ExitProcess, HangFault, MachineFault
 from repro.runtime.interpreter import Interpreter, InterpreterOptions
 from repro.runtime.os_model import EmulatedOS, LogRecord
@@ -17,6 +19,20 @@ class ProcessStatus(enum.Enum):
     EXITED = "exited"
     CRASHED = "crashed"
     HUNG = "hung"
+
+
+@functools.lru_cache(maxsize=1024)
+def _word_pattern(needle: str) -> "re.Pattern[str]":
+    """Compiled word-bounded search pattern for one needle.
+
+    Pinpointing probes the same handful of needles (parameter names,
+    injected values, "line N") against every launch of a campaign;
+    the LRU makes the compile per-needle instead of per-call.
+    """
+    return re.compile(
+        r"(?<![0-9A-Za-z_])" + re.escape(needle) + r"(?![0-9A-Za-z_])",
+        re.IGNORECASE,
+    )
 
 
 @dataclass
@@ -32,6 +48,14 @@ class ProcessResult:
     responses: list[str] = field(default_factory=list)
     steps: int = 0
     interpreter: Interpreter | None = None
+    # Memo of the joined log text, keyed by the log list's identity and
+    # length so appends (and list replacement) invalidate it.
+    _log_text: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _log_text_key: tuple[int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def crashed(self) -> bool:
@@ -46,7 +70,13 @@ class ProcessResult:
         return self.status is ProcessStatus.EXITED and self.exit_code == 0
 
     def log_text(self) -> str:
-        return "\n".join(f"[{r.stream}] {r.text}" for r in self.logs)
+        key = (id(self.logs), len(self.logs))
+        if self._log_text is None or self._log_text_key != key:
+            self._log_text = "\n".join(
+                f"[{r.stream}] {r.text}" for r in self.logs
+            )
+            self._log_text_key = key
+        return self._log_text
 
     def logs_mention_word(self, needle: str) -> bool:
         """Case-insensitive log search where the match must not sit
@@ -57,24 +87,18 @@ class ProcessResult:
         value matches almost any log line)."""
         if not needle:
             return False
-        pattern = re.compile(
-            r"(?<![0-9A-Za-z_])" + re.escape(needle) + r"(?![0-9A-Za-z_])",
-            re.IGNORECASE,
-        )
+        pattern = _word_pattern(needle)
         return any(pattern.search(record.text) for record in self.logs)
 
 
-def run_program(
-    program: Program,
-    os_model: EmulatedOS | None = None,
-    argv: list[str] | None = None,
-    options: InterpreterOptions | None = None,
-) -> ProcessResult:
-    """Execute a program's main() and capture the process outcome."""
-    os_model = os_model if os_model is not None else EmulatedOS()
-    interp = Interpreter(program, os_model, options)
+def capture_outcome(interp: Interpreter, thunk) -> ProcessResult:
+    """Run `thunk` (which drives `interp`) and capture the process
+    outcome - the single fault-to-result mapping shared by the plain
+    launch path below and the warm-boot paths in
+    `repro.runtime.snapshot`."""
+    os_model = interp.os
     try:
-        code = interp.run_main(argv)
+        code = thunk()
         result = ProcessResult(status=ProcessStatus.EXITED, exit_code=code)
     except MachineFault as fault:
         os_model.log("console", fault.console_message)
@@ -96,3 +120,24 @@ def run_program(
     result.steps = interp.steps
     result.interpreter = interp
     return result
+
+
+def run_program(
+    program: Program,
+    os_model: EmulatedOS | None = None,
+    argv: list[str] | None = None,
+    options: InterpreterOptions | None = None,
+    plan=None,
+) -> ProcessResult:
+    """Execute a program's main() and capture the process outcome.
+
+    With `options.engine == "compiled"` (the default) the program's
+    memoized `LaunchPlan` executes the function bodies; pass a `plan`
+    explicitly only to share a pre-fetched plan on a hot path.
+    """
+    os_model = os_model if os_model is not None else EmulatedOS()
+    options = options if options is not None else InterpreterOptions()
+    if plan is None and options.engine == "compiled":
+        plan = plan_for(program)
+    interp = Interpreter(program, os_model, options, plan=plan)
+    return capture_outcome(interp, lambda: interp.run_main(argv))

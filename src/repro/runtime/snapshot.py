@@ -1,0 +1,424 @@
+"""Warm-boot snapshots - the launch engine's layer 2.
+
+Every launch of one (system, config) pair executes an identical boot
+prefix: `main()` reads the config file, validates it, binds ports and
+initializes tables before it ever touches the functional-test request
+queue.  The harness launches the same config repeatedly - once for
+startup classification, then once per functional test - so the prefix
+is re-interpreted over and over.
+
+This module replays it instead.  `main`'s *top-level* statements are
+executed one at a time (each statement runs through exactly the same
+per-statement machinery as a plain launch, so semantics are
+bit-identical); the emulated OS counts `next_request` polls, and the
+index of the first top-level statement during which a poll happens is
+the **boot boundary**: everything before it is request-independent.
+
+Per (system, config text, interpreter options) a `BootRecord` evolves
+over launches:
+
+1. *probe* - the first launch runs normally and learns the boundary;
+2. *capture* - the second launch re-runs the prefix, deep-copies the
+   full interpreter + OS state right before the boundary statement
+   (with the request queue normalized to empty), then continues;
+3. *resume* - every later launch restores a copy of the snapshot,
+   installs its own request queue, and executes only the statements
+   from the boundary on.
+
+Resumed runs produce the same `ProcessResult` a cold run would - same
+verdicts, logs, responses and `steps` counts (the step counter is part
+of the captured state) - which the parity suite enforces.  A config
+whose boot never polls (e.g. it exits or crashes during startup) gets
+`boundary=None` and keeps launching cold; those configs launch once
+per unique request set anyway, and the launch cache above this layer
+already deduplicates them.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import FunctionDef
+from repro.lang.program import Program
+from repro.runtime.compile import LaunchPlan, plan_for
+from repro.runtime.faults import ExitProcess, StackOverflowFault
+from repro.runtime.interpreter import (
+    Frame,
+    Interpreter,
+    InterpreterOptions,
+    _ReturnSignal,
+)
+from repro.runtime.os_model import EmulatedOS
+from repro.runtime.process import ProcessResult, capture_outcome
+from repro.runtime.values import ArrayValue, coerce, zero_value
+
+from repro.lang import types as ct
+
+
+@dataclass
+class BootSnapshot:
+    """Captured pre-boundary state plus the index of the first
+    request-touching top-level statement.
+
+    The bundle is stored pickled: one `pickle.loads` per resume is
+    several times cheaper than a `copy.deepcopy` of the live object
+    graph, and either way each resume gets a fully independent copy
+    (within-bundle identity relations survive both).  State that
+    cannot pickle (exotic values planted by custom builtins) falls
+    back to holding the live bundle and deep-copying per resume.
+    """
+
+    boundary: int
+    blob: bytes | None = None
+    state: dict | None = None
+
+    def materialize(self, program: Program) -> dict:
+        """An independent copy of the captured state bundle.
+
+        `global_types` is rebuilt from the program rather than stored:
+        it is exactly `_init_globals`' pass-1 mapping (name -> declared
+        type), immutable after init, and pickling its type objects per
+        resume would be pure waste.
+        """
+        if self.blob is not None:
+            state = pickle.loads(self.blob)
+            state["global_types"] = _global_types_of(program)
+            return state
+        return copy.deepcopy(self.state)
+
+
+def _global_types_of(program: Program) -> dict:
+    return {name: decl.type for name, decl in program.globals.items()}
+
+
+@dataclass
+class BootStats:
+    """Work accounting for one snapshot store."""
+
+    resumes: int = 0  # launches served from a warm snapshot
+    boots: int = 0  # full boots (probe or capture runs)
+    captures: int = 0  # snapshots taken
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "resumes": self.resumes,
+            "boots": self.boots,
+            "captures": self.captures,
+        }
+
+    def absorb(self, delta: dict[str, int]) -> None:
+        self.resumes += delta.get("resumes", 0)
+        self.boots += delta.get("boots", 0)
+        self.captures += delta.get("captures", 0)
+
+
+@dataclass
+class BootRecord:
+    """What one (system, config, options) key has learned so far.
+
+    Mutated in place across launches; all transitions are idempotent
+    and derived from deterministic runs, so concurrent writers (thread
+    executors sharing a snapshot cache) can only race to store
+    equivalent values.
+    """
+
+    probed: bool = False
+    boundary: int | None = None
+    snapshot: BootSnapshot | None = None
+
+    @property
+    def can_resume(self) -> bool:
+        return self.snapshot is not None
+
+
+class BoundaryHint:
+    """Speculative per-(system, options) boot boundary.
+
+    All configs of one system that boot successfully reach the same
+    serve statement, so once any config has learned the boundary,
+    later configs capture their snapshot during their *first* run
+    (merging the probe and capture boots into one).  The hint is only
+    ever a speculation: a run whose observed boundary disagrees
+    discards the speculative snapshot, so a wrong hint costs one extra
+    boot, never correctness.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index: int | None = None
+
+
+def boot_launch(
+    program: Program,
+    make_os,
+    argv: list[str] | None,
+    options: InterpreterOptions | None,
+    record: BootRecord,
+    requests: list[str] | None = None,
+    stats: BootStats | None = None,
+    hint: BoundaryHint | None = None,
+) -> ProcessResult:
+    """Launch `program`, replaying from `record`'s snapshot when one
+    exists and teaching the record otherwise.
+
+    `make_os` is a zero-argument factory producing this launch's
+    freshly configured `EmulatedOS` (config installed, no requests);
+    it is only invoked on cold boots - the resume path needs nothing
+    from it, the snapshot supplies the whole world.
+    """
+    options = options if options is not None else InterpreterOptions()
+    plan = plan_for(program) if options.engine == "compiled" else None
+    if record.snapshot is not None:
+        if stats is not None:
+            stats.resumes += 1
+        return _resume(program, requests, options, plan, record)
+    if stats is not None:
+        stats.boots += 1
+    os_model = make_os()
+    if requests:
+        os_model.queue_requests(requests)
+    interp = _fresh_interpreter(program, os_model, options, plan)
+    return capture_outcome(
+        interp, lambda: _run_stepwise(interp, argv, record, plan, hint, stats)
+    )
+
+
+def _fresh_interpreter(
+    program: Program,
+    os_model: EmulatedOS,
+    options: InterpreterOptions,
+    plan: LaunchPlan | None,
+) -> Interpreter:
+    """A cold interpreter, via the plan's global-init template when the
+    program's global initializers are call-free (then the initialized
+    state is a pure function of the program, so one pickle restore
+    replaces re-running `_init_globals` on every launch)."""
+    if plan is None or not plan.globals_pure:
+        return Interpreter(program, os_model, options, plan=plan)
+    template = plan.globals_template
+    if template is None:
+        interp = Interpreter(program, os_model, options, plan=plan)
+        bundle = dict(interp.state_bundle())
+        bundle.pop("os")
+        bundle.pop("global_types")
+        try:
+            plan.globals_template = pickle.dumps(
+                bundle, pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            # Unpicklable initializer values: template disabled.
+            plan.globals_pure = False
+        return interp
+    state = pickle.loads(template)
+    state["os"] = os_model
+    state["global_types"] = _global_types_of(program)
+    return Interpreter.from_state(program, state, options, plan=plan)
+
+
+# -- stepwise execution ------------------------------------------------------
+
+
+def _main_runners(program: Program, plan: LaunchPlan | None) -> tuple:
+    """Per-top-level-statement runners for main, engine-appropriate.
+
+    Compiled plans carry their statement closures; the tree engine
+    wraps each statement in an `exec_stmt` call.  Either way one
+    runner executes one statement with full launch semantics.
+    """
+    if plan is not None:
+        return plan.main_steps
+    body = program.function("main").body
+    if body is None:
+        return ()
+    return tuple(
+        (lambda rt, _stmt=stmt: rt.exec_stmt(_stmt))
+        for stmt in body.statements
+    )
+
+
+def _main_args(main: FunctionDef, argv: list[str] | None) -> list:
+    """`run_main`'s argc/argv binding, verbatim."""
+    argv = argv if argv is not None else ["prog"]
+    if len(main.params) >= 2:
+        return [len(argv), ArrayValue(ct.STRING, list(argv))]
+    if len(main.params) == 1:
+        return [len(argv)]
+    return []
+
+
+def _push_main_frame(interp: Interpreter, main: FunctionDef, args: list) -> None:
+    """`call_function`'s prologue for main, verbatim."""
+    if len(interp.frames) >= interp._max_call_depth:
+        raise StackOverflowFault(
+            f"call depth exceeded in {main.name}", main.location
+        )
+    frame = Frame(function=main.name)
+    for i, param in enumerate(main.params):
+        value = args[i] if i < len(args) else zero_value(param.type)
+        frame.locals[param.name] = coerce(param.type, value)
+        frame.local_types[param.name] = param.type
+    if main.variadic:
+        frame.locals["__varargs"] = list(args[len(main.params):])
+    interp.frames.append(frame)
+
+
+def _exit_code(main: FunctionDef, result: object) -> int:
+    """`run_main`'s result-to-exit-code mapping, verbatim."""
+    if isinstance(result, int):
+        return result
+    return 0
+
+
+def _run_stepwise(
+    interp: Interpreter,
+    argv: list[str] | None,
+    record: BootRecord,
+    plan: LaunchPlan | None,
+    hint: BoundaryHint | None = None,
+    stats: BootStats | None = None,
+) -> int:
+    """Execute main() top-level statement by statement.
+
+    Equivalent to `Interpreter.run_main` (the statements run through
+    the same per-statement machinery `exec_block`/a compiled body
+    would drive), with two additions between statements: learning the
+    boot boundary, and capturing the snapshot.  On a probe run with a
+    `hint` the capture is speculative - taken at the hinted index and
+    discarded if the observed boundary disagrees - so most configs
+    need only one cold boot.
+    """
+    program = interp.program
+    main = program.function("main")
+    runners = _main_runners(program, plan)
+    if record.probed:
+        # Known boundary, missing snapshot: a dedicated capture run.
+        capture_at = record.boundary
+        learning = False
+    else:
+        capture_at = hint.index if hint is not None else None
+        learning = True
+    boundary: int | None = None
+    speculative: BootSnapshot | None = None
+    os_model = interp.os
+    try:
+        try:
+            _push_main_frame(interp, main, _main_args(main, argv))
+            try:
+                for index, run_stmt in enumerate(runners):
+                    if index == capture_at:
+                        if stats is not None:
+                            stats.captures += 1
+                        if learning:
+                            speculative = _capture(interp, index)
+                        else:
+                            record.snapshot = _capture(interp, index)
+                    if learning:
+                        polls_before = os_model.request_polls
+                        try:
+                            run_stmt(interp)
+                        finally:
+                            if (
+                                boundary is None
+                                and os_model.request_polls > polls_before
+                            ):
+                                boundary = index
+                    else:
+                        run_stmt(interp)
+                result: object = zero_value(main.return_type)
+            except _ReturnSignal as ret:
+                result = coerce(main.return_type, ret.value)
+            finally:
+                interp.frames.pop()
+        finally:
+            if learning:
+                record.probed = True
+                record.boundary = boundary
+                if (
+                    speculative is not None
+                    and boundary is not None
+                    and boundary >= speculative.boundary
+                ):
+                    # The first poll happened at (or after) the
+                    # speculative capture point, so the captured state
+                    # is request-independent; resumes replay from the
+                    # capture index.  An earlier poll means the
+                    # speculation read request-touched state: discard.
+                    record.snapshot = speculative
+                    record.boundary = speculative.boundary
+                if hint is not None and boundary is not None:
+                    hint.index = boundary
+        return _exit_code(main, result)
+    except ExitProcess as exit_:
+        return exit_.code
+
+
+# -- capture and resume ------------------------------------------------------
+
+
+def _capture(interp: Interpreter, boundary: int) -> BootSnapshot:
+    """Capture the interpreter's full state bundle, with the OS
+    request queue normalized to empty.
+
+    The boot prefix never touches the queue (by the boundary's
+    definition), so the captured state is request-independent; resumed
+    launches install their own queue.  One pickle (or fallback
+    deepcopy) over the whole bundle preserves identity relations
+    (pointers into environment dicts, shared file handles).
+    """
+    os_model = interp.os
+    saved_requests = os_model.requests
+    os_model.requests = []
+    try:
+        bundle = dict(interp.state_bundle())
+        slim = dict(bundle)
+        slim.pop("global_types")  # rebuilt from the program on resume
+        try:
+            blob = pickle.dumps(slim, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Unpicklable state (e.g. a custom builtin planted an
+            # exotic value): keep a live deep copy instead.
+            return BootSnapshot(boundary=boundary, state=copy.deepcopy(bundle))
+        return BootSnapshot(boundary=boundary, blob=blob)
+    finally:
+        os_model.requests = saved_requests
+
+
+def _resume(
+    program: Program,
+    requests: list[str] | None,
+    options: InterpreterOptions,
+    plan: LaunchPlan | None,
+    record: BootRecord,
+) -> ProcessResult:
+    """Rebuild an interpreter from the snapshot and run only main's
+    post-boundary statements against this launch's request queue."""
+    snapshot = record.snapshot
+    interp = Interpreter.from_state(
+        program, snapshot.materialize(program), options, plan=plan
+    )
+    # Install this launch's queue only: the snapshot already holds the
+    # post-queue, pre-boundary state (cursor 0, plus any responses the
+    # boot prefix itself produced - which a cold run would keep).
+    interp.os.requests = list(requests) if requests else []
+    main = program.function("main")
+    tail = _main_runners(program, plan)[snapshot.boundary:]
+
+    def run_tail() -> int:
+        try:
+            try:
+                try:
+                    for run_stmt in tail:
+                        run_stmt(interp)
+                    result: object = zero_value(main.return_type)
+                except _ReturnSignal as ret:
+                    result = coerce(main.return_type, ret.value)
+            finally:
+                interp.frames.pop()
+            return _exit_code(main, result)
+        except ExitProcess as exit_:
+            return exit_.code
+
+    return capture_outcome(interp, run_tail)

@@ -153,6 +153,49 @@ class TestReportSerialization:
         assert len(decoded["constraints"]) == len(report.constraints)
 
 
+class TestSnapshotCache:
+    def test_fingerprint_covers_system_config_and_options(self):
+        from repro.pipeline.cache import snapshot_fingerprint
+
+        base = snapshot_fingerprint("vsftpd", "listen=YES\n", "opts-a")
+        assert base == snapshot_fingerprint("vsftpd", "listen=YES\n", "opts-a")
+        assert base != snapshot_fingerprint("apache", "listen=YES\n", "opts-a")
+        assert base != snapshot_fingerprint("vsftpd", "listen=NO\n", "opts-a")
+        assert base != snapshot_fingerprint("vsftpd", "listen=YES\n", "opts-b")
+        assert base != snapshot_fingerprint(
+            "vsftpd", "listen=YES\n", "opts-a", argv=("vsftpd", "/etc/alt")
+        )
+
+    def test_record_for_returns_one_record_per_key(self):
+        from repro.pipeline.cache import SnapshotCache
+
+        cache = SnapshotCache()
+        record = cache.record_for("k1")
+        assert cache.record_for("k1") is record
+        assert cache.record_for("k2") is not record
+        assert not record.probed
+
+    def test_hints_shared_per_system_and_options(self):
+        from repro.pipeline.cache import SnapshotCache
+
+        cache = SnapshotCache()
+        hint = cache.hint_for("vsftpd", "fp")
+        assert cache.hint_for("vsftpd", "fp") is hint
+        assert cache.hint_for("vsftpd", "other-fp") is not hint
+        assert hint.index is None
+
+    def test_boot_stats_absorb(self):
+        from repro.pipeline.cache import SnapshotCache
+
+        cache = SnapshotCache()
+        cache.absorb_boot_stats({"resumes": 3, "boots": 2, "captures": 1})
+        assert cache.boot_stats.snapshot() == {
+            "resumes": 3,
+            "boots": 2,
+            "captures": 1,
+        }
+
+
 class TestPipelineCaches:
     def test_stats_shape(self):
         caches = PipelineCaches()
@@ -162,11 +205,17 @@ class TestPipelineCaches:
             "campaigns",
             "launches",
             "checkers",
+            "snapshots",
         }
         assert stats["inference"] == {
             "hits": 0,
             "misses": 0,
             "invalidations": 0,
+        }
+        assert stats["snapshots"] == {
+            "resumes": 0,
+            "boots": 0,
+            "captures": 0,
         }
 
     def test_options_fingerprint_is_hex(self):

@@ -1,0 +1,315 @@
+"""Differential parity suite: compiled launch engine vs tree-walker.
+
+The closure-compiled engine (`repro.runtime.compile`) must be
+bit-identical to the tree-walking interpreter for every externally
+observable channel SPEX-INJ reads: status, exit code, fault signal and
+reason, fault location, logs, responses, and the *step count* (fault
+classification is step-budget-sensitive, so steps are part of the
+contract, not an implementation detail).
+"""
+
+import pytest
+
+from repro.lang.program import Program
+from repro.runtime.interpreter import InterpreterOptions
+from repro.runtime.process import ProcessStatus, run_program
+from repro.systems.registry import get_system, system_names
+
+
+def assert_same_result(compiled, tree):
+    assert compiled.status is tree.status
+    assert compiled.exit_code == tree.exit_code
+    assert compiled.fault_signal == tree.fault_signal
+    assert compiled.fault_reason == tree.fault_reason
+    assert str(compiled.fault_location) == str(tree.fault_location)
+    assert [str(r) for r in compiled.logs] == [str(r) for r in tree.logs]
+    assert compiled.responses == tree.responses
+    assert compiled.steps == tree.steps
+
+
+def run_both(source, argv=None, max_steps=2_000_000, max_virtual=600.0):
+    program = Program.from_sources({"main.c": source})
+    results = []
+    for engine in ("compiled", "tree"):
+        options = InterpreterOptions(
+            max_steps=max_steps,
+            max_virtual_seconds=max_virtual,
+            engine=engine,
+            warm_boot=False,
+        )
+        results.append(run_program(program, argv=argv, options=options))
+    assert_same_result(*results)
+    return results[0]
+
+
+class TestCraftedProgramParity:
+    def test_arithmetic_and_control_flow(self):
+        result = run_both(
+            """
+            int main() {
+                int total = 0;
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i % 2 == 0) { total += i; } else { total -= 1; }
+                }
+                while (total > 20) { total = total / 2; }
+                do { total++; } while (total < 18);
+                return total;
+            }
+            """
+        )
+        assert result.status is ProcessStatus.EXITED
+
+    def test_switch_fallthrough_and_break(self):
+        run_both(
+            """
+            int classify(int x) {
+                int score = 0;
+                switch (x) {
+                case 1:
+                    score += 1;
+                case 2:
+                    score += 2;
+                    break;
+                case 3:
+                    score += 100;
+                    break;
+                default:
+                    score = 0 - 1;
+                }
+                return score;
+            }
+            int main() {
+                return classify(1) * 100 + classify(3) + classify(9) + 1;
+            }
+            """
+        )
+
+    def test_statics_structs_pointers_and_strings(self):
+        run_both(
+            """
+            struct counter { int n; char *label; };
+            struct counter box;
+            int bump() {
+                static int calls = 0;
+                calls++;
+                box.n = box.n + calls;
+                return calls;
+            }
+            int main() {
+                int i;
+                char *name = "alpha";
+                box.label = name + 2;
+                for (i = 0; i < 4; i++) { bump(); }
+                if (strcmp(box.label, "pha") != 0) { return 50; }
+                return box.n;
+            }
+            """
+        )
+
+    def test_function_pointers_and_varargs(self):
+        run_both(
+            """
+            int twice(int x) { return x * 2; }
+            int thrice(int x) { return x * 3; }
+            struct op { char *name; void *fn; };
+            struct op ops[2] = { {"twice", twice}, {"thrice", thrice} };
+            int main() {
+                int i;
+                int total = 0;
+                for (i = 0; i < 2; i++) {
+                    total += ops[i].fn(i + 4);
+                }
+                printf("total=%d\\n", total);
+                return total;
+            }
+            """
+        )
+
+    def test_segfault_parity(self):
+        result = run_both(
+            """
+            int main() {
+                int *p = NULL;
+                return *p;
+            }
+            """
+        )
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGSEGV"
+
+    def test_division_fault_parity(self):
+        result = run_both(
+            "int main() { int z = 0; return 7 / z; }"
+        )
+        assert result.fault_signal == "SIGFPE"
+
+    def test_out_of_bounds_parity(self):
+        result = run_both(
+            """
+            int table[3];
+            int main() {
+                int i;
+                for (i = 0; i <= 3; i++) { table[i] = i; }
+                return 0;
+            }
+            """
+        )
+        assert result.status is ProcessStatus.CRASHED
+
+    def test_recursion_overflow_parity(self):
+        result = run_both(
+            """
+            int spin(int n) { return spin(n + 1); }
+            int main() { return spin(0); }
+            """
+        )
+        assert result.status is ProcessStatus.CRASHED
+        assert result.fault_signal == "SIGSEGV"
+
+    def test_step_budget_exhaustion_same_step(self):
+        result = run_both(
+            "int main() { while (1) { } return 0; }",
+            max_steps=500,
+        )
+        assert result.status is ProcessStatus.HUNG
+        assert result.steps == 501  # both engines stop at the same tick
+
+    def test_virtual_time_hang_parity(self):
+        result = run_both(
+            """
+            int main() {
+                while (1) { sleep(30); }
+                return 0;
+            }
+            """,
+            max_virtual=100.0,
+        )
+        assert result.status is ProcessStatus.HUNG
+
+    def test_integer_wrap_and_casts(self):
+        run_both(
+            """
+            int stored;
+            int main() {
+                long big = 9000000000;
+                stored = (int)big;
+                char c = (char)300;
+                printf("%d %d\\n", stored, c);
+                return sizeof(long) + sizeof(char);
+            }
+            """
+        )
+
+    def test_compound_assignment_and_ternary(self):
+        run_both(
+            """
+            int main() {
+                int x = 5;
+                x += 3; x <<= 2; x |= 1; x %= 23;
+                int y = x > 5 ? x - 5 : x + 5;
+                return x * 10 + y;
+            }
+            """
+        )
+
+    def test_errno_and_file_io(self):
+        run_both(
+            """
+            int main() {
+                void *fp = fopen("/etc/missing.conf", "r");
+                if (fp == NULL) {
+                    fprintf(stderr, "open failed errno=%d\\n", errno);
+                    return errno;
+                }
+                return 0;
+            }
+            """
+        )
+
+
+@pytest.mark.parametrize("name", system_names())
+class TestSystemParity:
+    """Every registered system: identical launches on both engines."""
+
+    def _options(self, engine):
+        return InterpreterOptions(
+            max_steps=400_000,
+            max_virtual_seconds=120.0,
+            engine=engine,
+            warm_boot=False,
+        )
+
+    def _launch(self, system, config, engine, requests=None):
+        os_model = system.make_os()
+        system.install_config(os_model, config)
+        if requests:
+            os_model.queue_requests(requests)
+        return run_program(
+            system.program(),
+            os_model,
+            argv=[system.name, system.config_path],
+            options=self._options(engine),
+        )
+
+    def test_baseline_startup_and_tests(self, name):
+        system = get_system(name)
+        config = system.default_config
+        assert_same_result(
+            self._launch(system, config, "compiled"),
+            self._launch(system, config, "tree"),
+        )
+        for test in system.tests:
+            assert_same_result(
+                self._launch(system, config, "compiled", test.requests),
+                self._launch(system, config, "tree", test.requests),
+            )
+
+    def test_broken_config_parity(self, name):
+        """Faulting and rejecting boots must match too - mangle every
+        parameter of the vendor template in turn."""
+        system = get_system(name)
+        template = system.template_ar()
+        for param in list(template.names())[:10]:
+            ar = template.clone()
+            ar.set(param, "999999999999")
+            config = ar.serialize()
+            assert_same_result(
+                self._launch(system, config, "compiled"),
+                self._launch(system, config, "tree"),
+            )
+
+    def test_step_budget_regression_guard(self, name):
+        """The per-launch instruction budget is part of the engine
+        contract: a compiled boot must consume *exactly* as many steps
+        as a tree-walking boot, and a squeezed budget must hang both
+        engines at the same tick."""
+        system = get_system(name)
+        config = system.default_config
+        compiled = self._launch(system, config, "compiled")
+        tree = self._launch(system, config, "tree")
+        assert compiled.steps == tree.steps
+        squeezed_budget = compiled.steps // 2
+        squeezed = [
+            run_program(
+                system.program(),
+                self._broken_os(system, config),
+                argv=[system.name, system.config_path],
+                options=InterpreterOptions(
+                    max_steps=squeezed_budget,
+                    max_virtual_seconds=120.0,
+                    engine=engine,
+                    warm_boot=False,
+                ),
+            )
+            for engine in ("compiled", "tree")
+        ]
+        assert_same_result(*squeezed)
+        assert squeezed[0].status is ProcessStatus.HUNG
+        assert squeezed[0].steps == squeezed_budget + 1
+
+    @staticmethod
+    def _broken_os(system, config):
+        os_model = system.make_os()
+        system.install_config(os_model, config)
+        return os_model

@@ -58,6 +58,129 @@ class TestMutableDefault:
         assert _codes(source) == []
 
 
+class TestRegexRecompile:
+    def test_compile_inside_function_flagged(self):
+        source = (
+            "import re\n"
+            "def f(needle, text):\n"
+            "    return re.compile(needle).search(text)\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+    def test_compile_inside_method_flagged(self):
+        source = (
+            "import re\n"
+            "class C:\n"
+            "    def hits(self, needle):\n"
+            "        pattern = re.compile(needle)\n"
+            "        return pattern\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+    def test_compile_inside_loop_flagged(self):
+        source = (
+            "import re\n"
+            "patterns = []\n"
+            "for word in ['a', 'b']:\n"
+            "    patterns.append(re.compile(word))\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+    def test_compile_in_while_inside_function_flagged_once(self):
+        source = (
+            "import re\n"
+            "def f(words):\n"
+            "    while words:\n"
+            "        re.compile(words.pop())\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+    def test_module_scope_compile_passes(self):
+        assert _codes("import re\nPAT = re.compile('x+')\n") == []
+
+    def test_lru_cached_function_exempt(self):
+        source = (
+            "import functools\n"
+            "import re\n"
+            "@functools.lru_cache(maxsize=64)\n"
+            "def pattern_for(needle):\n"
+            "    return re.compile(needle)\n"
+        )
+        assert _codes(source) == []
+
+    def test_bare_cache_decorator_exempt(self):
+        source = (
+            "import re\n"
+            "from functools import cache\n"
+            "@cache\n"
+            "def pattern_for(needle):\n"
+            "    return re.compile(needle)\n"
+        )
+        assert _codes(source) == []
+
+    def test_loop_inside_cached_function_exempt(self):
+        # The cache bounds the recompiles to one per distinct input;
+        # a loop inside it is the cached function's own business.
+        source = (
+            "import functools\n"
+            "import re\n"
+            "@functools.lru_cache\n"
+            "def patterns_for(words):\n"
+            "    return [re.compile(w) for w in words]\n"
+        )
+        assert _codes(source) == []
+
+    def test_default_argument_compile_passes(self):
+        # Defaults evaluate once at def time, not per call.
+        source = (
+            "import re\n"
+            "def f(pat=re.compile('x')):\n"
+            "    return pat\n"
+        )
+        assert _codes(source) == []
+
+    def test_default_argument_inside_loop_still_flagged(self):
+        # ...but a def inside a loop re-evaluates its defaults per
+        # iteration.
+        source = (
+            "import re\n"
+            "fns = []\n"
+            "for w in ['a', 'b']:\n"
+            "    def f(pat=re.compile('x')):\n"
+            "        return pat\n"
+            "    fns.append(f)\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+    def test_decorator_argument_compile_passes(self):
+        source = (
+            "import re\n"
+            "def deco(pattern):\n"
+            "    def wrap(fn):\n"
+            "        return fn\n"
+            "    return wrap\n"
+            "@deco(re.compile('x'))\n"
+            "def g():\n"
+            "    return 1\n"
+        )
+        assert _codes(source) == []
+
+    def test_nested_function_resets_loop_context(self):
+        # The inner def runs per call, not per iteration of the outer
+        # loop - still flagged, but as a per-call compile.
+        source = (
+            "import re\n"
+            "def outer(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        def inner():\n"
+            "            return re.compile('x')\n"
+            "        out.append(inner)\n"
+            "    return out\n"
+        )
+        assert _codes(source) == ["regex-recompile"]
+
+
 class TestExistingDetectors:
     def test_dead_branch_same_return(self):
         source = (

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Write BENCH_launch.json: the repo's performance trajectory baseline.
+
+Run via ``make bench-json``.  Captures, for every registered system:
+
+* ``tree_launches_per_s``  - the seed's engine (tree-walking
+  interpreter, no warm-boot snapshots), the historical baseline;
+* ``cold_launches_per_s``  - compiled engine, first contact with each
+  config (probe/capture boots included);
+* ``warm_launches_per_s``  - compiled engine replaying from warm-boot
+  snapshots (the steady state of functional-test driving);
+
+plus the cold 7-system campaign wall-clock under both engines, the
+speedup, and the run's cache/boot counters.  Future PRs append their
+own runs by regenerating the file and comparing against the committed
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.inject.campaign import Campaign  # noqa: E402
+from repro.inject.harness import InjectionHarness  # noqa: E402
+from repro.pipeline.cache import PipelineCaches, SnapshotCache  # noqa: E402
+from repro.runtime.interpreter import InterpreterOptions  # noqa: E402
+from repro.systems.registry import iter_systems  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_launch.json"
+
+TREE_BASELINE = InterpreterOptions(
+    max_steps=400_000,
+    max_virtual_seconds=120.0,
+    engine="tree",
+    warm_boot=False,
+)
+COMPILED = InterpreterOptions(max_steps=400_000, max_virtual_seconds=120.0)
+
+LAUNCH_REPS = 3
+
+
+def _launch_pass(harness, system) -> int:
+    """One startup launch plus every functional test; returns the
+    number of launches driven."""
+    harness.launch(system.default_config)
+    for test in system.tests:
+        harness.launch(system.default_config, test.requests)
+    return 1 + len(system.tests)
+
+
+def bench_system_launches(system) -> dict:
+    out: dict[str, float] = {}
+
+    # Tree baseline: the seed's per-launch cost.
+    harness = InjectionHarness(system, options=TREE_BASELINE)
+    started = time.perf_counter()
+    launches = sum(_launch_pass(harness, system) for _ in range(LAUNCH_REPS))
+    out["tree_launches_per_s"] = launches / (time.perf_counter() - started)
+
+    # Cold: compiled engine meeting each config for the first time -
+    # fresh boot records every pass.
+    started = time.perf_counter()
+    launches = 0
+    for _ in range(LAUNCH_REPS):
+        launches += _launch_pass(
+            InjectionHarness(system, options=COMPILED), system
+        )
+    out["cold_launches_per_s"] = launches / (time.perf_counter() - started)
+
+    # Warm: one harness keeps its boot records, so repeated passes
+    # replay from snapshots (no launch cache - every launch computes).
+    harness = InjectionHarness(system, options=COMPILED)
+    _launch_pass(harness, system)  # warm the records
+    started = time.perf_counter()
+    launches = sum(_launch_pass(harness, system) for _ in range(LAUNCH_REPS))
+    out["warm_launches_per_s"] = launches / (time.perf_counter() - started)
+
+    out["launches_per_pass"] = 1 + len(system.tests)
+    return {key: round(value, 2) for key, value in out.items()}
+
+
+def bench_campaigns() -> dict:
+    caches = PipelineCaches()
+    for system in iter_systems(None):
+        Campaign(system, inference_cache=caches.inference).run_spex()
+
+    def sweep(harness_options, snapshot_cache):
+        duration = 0.0
+        misconfigurations = 0
+        for system in iter_systems(None):
+            campaign = Campaign(
+                system,
+                inference_cache=caches.inference,
+                harness_options=harness_options,
+                snapshot_cache=snapshot_cache,
+            )
+            started = time.perf_counter()
+            report = campaign.run()
+            duration += time.perf_counter() - started
+            misconfigurations += report.misconfigurations_tested
+        return duration, misconfigurations
+
+    tree_time, misconfigs = sweep(TREE_BASELINE, None)
+    snapshot_cache = SnapshotCache()
+    new_time, _ = sweep(None, snapshot_cache)
+    return {
+        "misconfigurations": misconfigs,
+        "tree_wall_time_s": round(tree_time, 3),
+        "wall_time_s": round(new_time, 3),
+        "tree_throughput_misconfigs_per_s": round(misconfigs / tree_time, 2),
+        "throughput_misconfigs_per_s": round(misconfigs / new_time, 2),
+        "speedup": round(tree_time / new_time, 2),
+        "boot_stats": snapshot_cache.boot_stats.snapshot(),
+    }
+
+
+def main() -> int:
+    payload = {
+        "generated_unix": int(time.time()),
+        "engines": {
+            "baseline": "tree-walking interpreter, no warm-boot snapshots",
+            "current": "closure-compiled launch plans + warm-boot snapshots",
+        },
+        "systems": {},
+    }
+    for system in iter_systems(None):
+        payload["systems"][system.name] = bench_system_launches(system)
+        print(f"{system.name}: {payload['systems'][system.name]}")
+    payload["campaign"] = bench_campaigns()
+    print(f"campaign: {payload['campaign']}")
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

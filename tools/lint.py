@@ -19,6 +19,13 @@ have actually bitten this codebase:
   every call, the classic accumulating-state bug.  Dataclass
   ``field(default_factory=...)`` is the idiom this codebase uses
   instead and is naturally exempt (it is not a parameter default).
+* ``regex-recompile`` - ``re.compile(...)`` inside a loop or inside a
+  function/method body, where the same pattern is recompiled on every
+  call/iteration.  ``ProcessResult.logs_mention_word`` recompiling its
+  word-boundary pattern per call (on the injection hot path) is the
+  motivating instance.  Compiles at module scope are the idiom;
+  functions decorated with ``functools.lru_cache``/``functools.cache``
+  are exempt (compile-once-per-input is the point of the cache).
 
 When ruff or pyflakes *is* installed, ``--external`` additionally runs
 it (ruff restricted to F-codes) for broader coverage; absence of both
@@ -104,6 +111,9 @@ def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
                     "the condition is dead",
                 )
 
+    for finding in _find_regex_recompiles(tree):
+        findings.append((path, finding[0], "regex-recompile", finding[1]))
+
     for node in ast.walk(tree):
         if (
             isinstance(node, ast.Compare)
@@ -151,6 +161,91 @@ def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
                         )
                     )
 
+    return findings
+
+
+def _is_re_compile(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "compile"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "re"
+    )
+
+
+_CACHE_DECORATORS = {"lru_cache", "cache"}
+
+
+def _is_cached_function(node: ast.AST) -> bool:
+    """Decorated with functools.lru_cache / functools.cache (bare or
+    called, bare name or attribute)?"""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr in _CACHE_DECORATORS:
+            return True
+        if isinstance(target, ast.Name) and target.id in _CACHE_DECORATORS:
+            return True
+    return False
+
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _find_regex_recompiles(tree: ast.AST) -> list[tuple[int, str]]:
+    """`re.compile` calls that re-run per call or per iteration.
+
+    A compile is flagged when it sits inside a loop (anywhere) or
+    inside a function/method that is not cache-decorated; module-scope
+    compiles - including comprehension-built tables at module scope -
+    are the idiom and pass.
+    """
+    findings: list[tuple[int, str]] = []
+
+    def visit(node: ast.AST, in_function: bool, in_loop: bool) -> None:
+        if _is_re_compile(node):
+            if in_loop:
+                findings.append(
+                    (
+                        node.lineno,
+                        "re.compile inside a loop recompiles the "
+                        "pattern every iteration; hoist it out (module "
+                        "scope or functools.lru_cache)",
+                    )
+                )
+            elif in_function:
+                findings.append(
+                    (
+                        node.lineno,
+                        "re.compile inside a function recompiles the "
+                        "pattern on every call; hoist it to module "
+                        "scope or wrap the function in "
+                        "functools.lru_cache",
+                    )
+                )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Decorators and parameter defaults run once, at def time,
+            # in the *enclosing* scope - visit them under the current
+            # context, not as per-call code.
+            for deco in node.decorator_list:
+                visit(deco, in_function, in_loop)
+            for default in [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]:
+                visit(default, in_function, in_loop)
+            if _is_cached_function(node):
+                return  # compile-once-per-input: that is the cache's job
+            for stmt in node.body:
+                visit(stmt, True, False)  # new function scope: loop resets
+            return
+        child_in_loop = in_loop or isinstance(node, _LOOPS)
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_function, child_in_loop)
+
+    visit(tree, False, False)
     return findings
 
 
