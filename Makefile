@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # this.
 export PYTHONHASHSEED := 0
 
-.PHONY: test lint bench bench-json fleet-bench docs-check quickstart pipeline fleet all
+.PHONY: test test-fast lint bench bench-json fleet-bench docs-check quickstart pipeline fleet serve all
 
 all: test docs-check
 
@@ -17,6 +17,11 @@ all: test docs-check
 # unit/integration/benchmark suite.
 test: lint
 	$(PYTHON) -m pytest -x -q
+
+# Inner-loop verification: everything except the benchmark tier
+# (benchmarks/ carries the `bench` marker via its conftest).
+test-fast: lint
+	$(PYTHON) -m pytest -x -q -m "not bench"
 
 # AST-based dead-code + mutable-default checks (no third-party install
 # needed); add LINT_EXTERNAL=1 to also run ruff/pyflakes when installed.
@@ -45,6 +50,12 @@ docs-check:
 
 quickstart:
 	$(PYTHON) examples/quickstart.py
+
+# Always-on validation service on a fixed local port; submit configs
+# with `python -m repro.reporting.cli submit <system> <file> --port ...`.
+SERVE_PORT ?= 7423
+serve:
+	$(PYTHON) -m repro.reporting.cli serve --port $(SERVE_PORT)
 
 # The batched multi-system campaign sweep (serial by default;
 # EXECUTOR=thread|process to fan out).

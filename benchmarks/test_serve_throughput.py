@@ -1,0 +1,120 @@
+"""Always-on validation service throughput.
+
+The serve tier's reason to exist: a resident service skips SPEX
+inference and checker compilation on every request, so sustained
+validation throughput under concurrent clients must dwarf the cold
+CLI path (`python -m repro.reporting.cli check`), which pays the full
+pipeline per invocation.  The measured ratio is recorded in
+``BENCH_serve.json`` via the canonical `tools/bench_json.py` writer.
+"""
+
+import asyncio
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from bench_json import write_payload  # noqa: E402
+
+from repro.serve import BackgroundServer, ServeClient  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+N_CLIENTS = 8
+CHECKS_PER_CLIENT = 150
+COLD_CLI_REPS = 3
+REQUIRED_SPEEDUP = 20.0
+
+# A small rotation so the service sees clean, flagged, and unknown-
+# parameter work rather than one memo-friendly input.
+CONFIGS = [
+    "ft_min_word_len = 5\n",
+    "ft_min_word_len = 99\nmade_up_param = 1\n",
+    "port = 70000\n",
+    "ft_min_word_len = 6\nmax_connections = 151\n",
+]
+
+
+@pytest.fixture(scope="module")
+def cold_cli_rate(tmp_path_factory):
+    """Checks/second through the cold CLI: one full process + SPEX +
+    compile + validate per configuration file."""
+    path = tmp_path_factory.mktemp("serve-bench") / "probe.cnf"
+    path.write_text(CONFIGS[1])
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    argv = [
+        sys.executable, "-m", "repro.reporting.cli",
+        "check", "mysql", str(path), "--json",
+    ]
+    started = time.perf_counter()
+    for _ in range(COLD_CLI_REPS):
+        completed = subprocess.run(
+            argv, env=env, cwd=REPO_ROOT, capture_output=True, text=True
+        )
+        assert completed.returncode == 1, completed.stderr  # flagged
+    duration = time.perf_counter() - started
+    return COLD_CLI_REPS / duration, duration
+
+
+def test_sustained_serve_throughput_vs_cold_cli(cold_cli_rate):
+    cli_rate, cli_duration = cold_cli_rate
+
+    with BackgroundServer(systems=["mysql"]) as handle:
+
+        async def one_client(index: int) -> int:
+            client = await ServeClient.connect(handle.host, handle.port)
+            try:
+                for i in range(CHECKS_PER_CLIENT):
+                    text = CONFIGS[(index + i) % len(CONFIGS)]
+                    response = await client.check(
+                        "mysql", text, config_id=f"bench-{index}"
+                    )
+                    assert response.revision == i + 1
+                return CHECKS_PER_CLIENT
+            finally:
+                await client.close()
+
+        async def drive() -> int:
+            totals = await asyncio.gather(
+                *(one_client(i) for i in range(N_CLIENTS))
+            )
+            return sum(totals)
+
+        started = time.perf_counter()
+        checks = asyncio.run(drive())
+        serve_duration = time.perf_counter() - started
+
+    serve_rate = checks / serve_duration
+    speedup = serve_rate / cli_rate
+    emit(
+        f"serve: {checks} checks by {N_CLIENTS} concurrent clients in "
+        f"{serve_duration:.2f}s ({serve_rate:.0f} checks/s) vs cold CLI "
+        f"{cli_rate:.2f} checks/s ({COLD_CLI_REPS} runs in "
+        f"{cli_duration:.2f}s) - {speedup:.0f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+    write_payload(
+        OUTPUT,
+        {
+            "generated_unix": int(time.time()),
+            "workload": {
+                "system": "mysql",
+                "clients": N_CLIENTS,
+                "checks_per_client": CHECKS_PER_CLIENT,
+                "distinct_configs": len(CONFIGS),
+            },
+            "cold_cli_checks_per_s": round(cli_rate, 2),
+            "serve_checks_per_s": round(serve_rate, 2),
+            "speedup": round(speedup, 1),
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    emit(f"wrote {OUTPUT}")

@@ -152,6 +152,46 @@ def render_validation_report(report: ValidationReport) -> str:
     return "\n".join(lines)
 
 
+def render_submit_report(response, diagnostics: list[dict]) -> str:
+    """One service submission's diagnostics, human-first.
+
+    `response` is a `repro.serve.CheckResponse`; `diagnostics` is the
+    fully-paginated item list the client drained (already filtered by
+    whatever severity/kind filter the submission named).
+    """
+    lines = [
+        f"{response.system}: {response.parameters_checked} of "
+        f"{response.parameters_present} parameters covered by compiled "
+        f"constraints (revision {response.revision})"
+    ]
+    if response.history is not None:
+        history = response.history
+        lines.append(
+            f"since revision {history.previous_revision}: "
+            f"{len(history.added)} new finding(s), "
+            f"{len(history.removed)} resolved, "
+            f"{history.unchanged} unchanged"
+        )
+    if not diagnostics:
+        lines.append("no problems found")
+        return "\n".join(lines)
+    for item in diagnostics:
+        where = (
+            f" (line {item['config_line']})" if item.get("config_line")
+            else ""
+        )
+        lines.append(
+            f"[{item['severity']}] {item['param']}{where}: "
+            f"{item['message']}\n"
+            f"    fix: {item['suggestion']}\n"
+            f"    evidence: {item['evidence']}"
+        )
+    lines.append(
+        f"{response.errors} error(s), {response.warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
 def _pct(fraction: float | None) -> str:
     return "n/a" if fraction is None else f"{100 * fraction:.1f}%"
 

@@ -9,9 +9,12 @@ Usage::
     python -m repro.reporting.cli pipeline --executor process --json
     python -m repro.reporting.cli check mysql /path/to/my.cnf
     python -m repro.reporting.cli fleet --size 1500 --executor process
+    python -m repro.reporting.cli serve --port 7878
+    python -m repro.reporting.cli submit mysql my.cnf --port 7878
 
 Unknown subcommands exit with status 2 and print this command list;
-`check` exits 1 when the config has errors, 0 when it is clean.
+`check` and `submit` exit 1 when the config has errors, 0 when it is
+clean.
 """
 
 from __future__ import annotations
@@ -54,6 +57,15 @@ def _usage() -> str:
         "                     --executor serial|thread|process, "
         "--workers N,\n"
         "                     --chunk N, --sample N, --json)\n"
+        "  serve              run the always-on validation service "
+        "(--host, --port,\n"
+        "                     --systems a,b, --workers N, "
+        "--warmup-only, --json)\n"
+        "  submit SYSTEM FILE check one config against a running "
+        "service\n"
+        "                     (--host, --port, --config-id ID, "
+        "--severity error|warning,\n"
+        "                     --kinds a,b, --json; exit 1 on errors)\n"
         "  help               show this message\n"
     )
 
@@ -234,6 +246,181 @@ def _fleet_command(args: list[str]) -> int:
     return 0
 
 
+def _serve_command(args: list[str]) -> int:
+    import asyncio
+
+    from repro.serve import ValidationServer, ValidationService
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.cli serve",
+        description=(
+            "Run the always-on validation service: compiled checkers "
+            "stay resident and configs are checked over a local NDJSON "
+            "socket."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port")
+    parser.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated subset (default: all registered systems)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--warmup-only",
+        action="store_true",
+        help="warm every checker, print the service status, and exit "
+        "(a smoke test of the serve path)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable status lines",
+    )
+    try:
+        options = parser.parse_args(args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    names = options.systems.split(",") if options.systems else None
+
+    async def run() -> int:
+        try:
+            service = ValidationService(
+                systems=names, max_workers=options.workers
+            )
+        except KeyError as exc:  # unknown system, from the registry
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        await service.start()
+        if options.warmup_only:
+            status = service.status()
+            if options.json:
+                print(json.dumps(status.summary_dict(), indent=2))
+            else:
+                print(
+                    f"warmed {len(status.systems)} checker(s) in "
+                    f"{status.warmup_seconds:.2f}s: "
+                    f"{', '.join(status.systems)}"
+                )
+            await service.close()
+            return 0
+        server = ValidationServer(
+            service, host=options.host, port=options.port
+        )
+        await server.start()
+        status = service.status()
+        if options.json:
+            print(
+                json.dumps(
+                    {
+                        "host": options.host,
+                        "port": server.port,
+                        "systems": list(status.systems),
+                        "warmup_seconds": status.warmup_seconds,
+                    }
+                ),
+                flush=True,
+            )
+        else:
+            print(
+                f"serving {len(status.systems)} system(s) on "
+                f"{options.host}:{server.port} "
+                f"(warmup {status.warmup_seconds:.2f}s); Ctrl-C stops",
+                flush=True,
+            )
+        try:
+            await server.wait_closed()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _submit_command(args: list[str]) -> int:
+    from repro.reporting.aggregate import render_submit_report
+    from repro.serve import ServeError, submit_config
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.cli submit",
+        description=(
+            "Check one configuration file against a running validation "
+            "service (see the serve command)."
+        ),
+    )
+    parser.add_argument("system")
+    parser.add_argument("config_file")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--config-id",
+        default=None,
+        help="config identity for diagnostic history (default: the "
+        "file path)",
+    )
+    parser.add_argument(
+        "--severity",
+        choices=["error", "warning"],
+        default=None,
+        help="only return diagnostics of this severity",
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated diagnostic kinds to return",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of diagnostics",
+    )
+    try:
+        options = parser.parse_args(args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    try:
+        with open(options.config_file, "r", encoding="utf-8") as handle:
+            config_text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {options.config_file}: {exc}", file=sys.stderr)
+        return 2
+    kinds = tuple(options.kinds.split(",")) if options.kinds else ()
+    config_id = options.config_id or options.config_file
+    try:
+        response, diagnostics = submit_config(
+            options.host,
+            options.port,
+            options.system,
+            config_text,
+            config_id=config_id,
+            severity=options.severity,
+            kinds=kinds,
+        )
+    except ServeError as exc:
+        print(f"service refused the request: {exc.message}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"cannot reach the service at {options.host}:{options.port}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if options.json:
+        payload = response.summary_dict()
+        del payload["page"]
+        payload["diagnostics"] = diagnostics
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_submit_report(response, diagnostics))
+    return 1 if response.flagged else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] in ("help", "-h", "--help"):
@@ -245,6 +432,10 @@ def main(argv: list[str] | None = None) -> int:
         return _check_command(args[1:])
     if args and args[0] == "fleet":
         return _fleet_command(args[1:])
+    if args and args[0] == "serve":
+        return _serve_command(args[1:])
+    if args and args[0] == "submit":
+        return _submit_command(args[1:])
     if not args or args == ["all"]:
         print(Evaluation.shared().all_tables())
         return 0

@@ -1,0 +1,60 @@
+"""Always-on validation service: compiled checkers served over a
+typed async API.
+
+The fourth pillar of the reproduction's growth (infer -> inject ->
+check -> **serve**): where `repro.checker` validates one config per
+CLI process, `repro.serve` keeps every system's compiled checker,
+inference result and warm-boot machinery resident in one long-running
+process and serves check requests over a newline-delimited-JSON socket
+- cursor-paginated diagnostics, severity/kind filtering with
+server-enforced limits, and per-config diagnostic history (what
+changed between successive submissions of the same config).
+
+Layering: `repro.serve` sits above `repro.checker` (whose compiled
+validators it keeps resident) and `repro.pipeline` (whose caches it
+shares), and below `repro.reporting` (which exposes the ``serve`` and
+``submit`` CLI commands).
+"""
+
+from repro.serve.client import ServeClient, submit_config
+from repro.serve.models import (
+    DEFAULT_PAGE_SIZE,
+    MAX_CONFIG_BYTES,
+    MAX_FILTER_KINDS,
+    MAX_HISTORY_DEPTH,
+    MAX_PAGE_SIZE,
+    SCHEMA_VERSION,
+    CheckRequest,
+    CheckResponse,
+    ConfigHistory,
+    DiagnosticPage,
+    FleetStatus,
+    HistoryDelta,
+    ServeError,
+)
+from repro.serve.server import (
+    BackgroundServer,
+    ValidationServer,
+)
+from repro.serve.service import ValidationService
+
+__all__ = [
+    "BackgroundServer",
+    "CheckRequest",
+    "CheckResponse",
+    "ConfigHistory",
+    "DEFAULT_PAGE_SIZE",
+    "DiagnosticPage",
+    "FleetStatus",
+    "HistoryDelta",
+    "MAX_CONFIG_BYTES",
+    "MAX_FILTER_KINDS",
+    "MAX_HISTORY_DEPTH",
+    "MAX_PAGE_SIZE",
+    "SCHEMA_VERSION",
+    "ServeClient",
+    "ServeError",
+    "ValidationServer",
+    "ValidationService",
+    "submit_config",
+]

@@ -1,0 +1,408 @@
+"""Typed request/response models for the validation service.
+
+Everything that crosses the `repro.serve` wire is a frozen dataclass
+with an explicit `summary_dict()` / `from_dict()` pair, so the NDJSON
+transport (`repro.serve.server` / `client`) stays a dumb pipe and the
+schema lives in exactly one place.  `SCHEMA_VERSION` is embedded in
+every response envelope; a client that sees a version it does not
+know refuses loudly instead of misreading fields.
+
+The service is *read-mostly and bounded by construction*: page sizes,
+severity/kind filters, cursor lifetimes and config sizes all have
+server-enforced ceilings (`MAX_PAGE_SIZE`, `MAX_FILTER_KINDS`,
+`MAX_CONFIG_BYTES`), mirroring the DoS-protection posture of
+production misconfiguration APIs - a client cannot ask one request to
+materialize unbounded work.
+
+Usage::
+
+    from repro.serve import CheckRequest
+
+    request = CheckRequest(system="mysql", config_text="port = 3306\n")
+    request.validate()          # raises ServeError on a bad request
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass, field
+
+from repro.checker.validate import (
+    CONSTRAINT_KINDS,
+    ERROR,
+    KIND_UNKNOWN_PARAM,
+    WARNING,
+)
+
+SCHEMA_VERSION = 1
+
+# Server-enforced ceilings (DoS protection): one request can never ask
+# for an unbounded page, an unbounded filter set, or an unbounded
+# config parse.
+MAX_PAGE_SIZE = 100
+DEFAULT_PAGE_SIZE = 20
+MAX_FILTER_KINDS = 8
+MAX_CONFIG_BYTES = 1_000_000
+MAX_HISTORY_DEPTH = 16
+
+# Every kind slug a filter may name: the five constraint categories
+# plus unknown-parameter near-miss findings.
+FILTERABLE_KINDS = frozenset(CONSTRAINT_KINDS) | {KIND_UNKNOWN_PARAM}
+SEVERITIES = (ERROR, WARNING)
+
+
+class ServeError(Exception):
+    """A request the service refuses, with a stable machine code.
+
+    Codes are part of the wire schema (clients branch on them):
+    ``unknown-system``, ``bad-request``, ``limit-exceeded``,
+    ``bad-cursor``, ``cursor-expired``, ``unknown-config``,
+    ``bad-op``, ``schema-mismatch``.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def summary_dict(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """One config submission.
+
+    `config_id` is the config's *identity* for diagnostic history:
+    successive submissions under the same (system, config_id) pair are
+    revisions of one config, and the response carries the diff against
+    the previous revision.  Without a `config_id` the submission is
+    anonymous - checked, but not tracked.
+    """
+
+    system: str
+    config_text: str
+    config_id: str | None = None
+    page_size: int = DEFAULT_PAGE_SIZE
+    severity: str | None = None  # ERROR | WARNING | None (no filter)
+    kinds: tuple[str, ...] = ()  # () means every kind
+
+    def validate(self) -> None:
+        """Reject malformed or limit-violating requests up front."""
+        if not self.system or not isinstance(self.system, str):
+            raise ServeError("bad-request", "system name is required")
+        if not isinstance(self.config_text, str):
+            raise ServeError("bad-request", "config_text must be a string")
+        if len(self.config_text.encode("utf-8")) > MAX_CONFIG_BYTES:
+            raise ServeError(
+                "limit-exceeded",
+                f"config_text exceeds {MAX_CONFIG_BYTES} bytes",
+            )
+        if not isinstance(self.page_size, int) or self.page_size < 1:
+            raise ServeError(
+                "bad-request", "page_size must be a positive integer"
+            )
+        if self.page_size > MAX_PAGE_SIZE:
+            raise ServeError(
+                "limit-exceeded",
+                f"page_size {self.page_size} exceeds the server limit "
+                f"of {MAX_PAGE_SIZE}",
+            )
+        _validate_filters(self.severity, self.kinds)
+
+    def summary_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "config_text": self.config_text,
+            "config_id": self.config_id,
+            "page_size": self.page_size,
+            "severity": self.severity,
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckRequest":
+        return cls(
+            system=data.get("system", ""),
+            config_text=data.get("config_text", ""),
+            config_id=data.get("config_id"),
+            page_size=data.get("page_size", DEFAULT_PAGE_SIZE),
+            severity=data.get("severity"),
+            kinds=tuple(data.get("kinds", ())),
+        )
+
+
+def _validate_filters(severity: str | None, kinds: tuple[str, ...]) -> None:
+    if severity is not None and severity not in SEVERITIES:
+        raise ServeError(
+            "bad-request",
+            f"severity must be one of {', '.join(SEVERITIES)}",
+        )
+    if len(kinds) > MAX_FILTER_KINDS:
+        raise ServeError(
+            "limit-exceeded",
+            f"at most {MAX_FILTER_KINDS} kind filters per request",
+        )
+    unknown = [k for k in kinds if k not in FILTERABLE_KINDS]
+    if unknown:
+        raise ServeError(
+            "bad-request",
+            f"unknown diagnostic kind(s): {', '.join(sorted(unknown))}",
+        )
+
+
+@dataclass(frozen=True)
+class DiagnosticPage:
+    """One page of a result snapshot's diagnostics.
+
+    `cursor` continues the walk (None at the end); `total` counts the
+    snapshot's diagnostics before filtering, `matched` after.  Pages
+    are cut from an *immutable* snapshot, so a cursor stays stable no
+    matter how many new submissions interleave with the walk.
+    """
+
+    items: tuple[dict, ...]
+    cursor: str | None
+    total: int
+    matched: int
+    offset: int
+
+    def summary_dict(self) -> dict:
+        return {
+            "items": [dict(item) for item in self.items],
+            "cursor": self.cursor,
+            "total": self.total,
+            "matched": self.matched,
+            "offset": self.offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiagnosticPage":
+        return cls(
+            items=tuple(data["items"]),
+            cursor=data["cursor"],
+            total=data["total"],
+            matched=data["matched"],
+            offset=data["offset"],
+        )
+
+
+@dataclass(frozen=True)
+class HistoryDelta:
+    """What changed between two revisions of one config identity.
+
+    Diagnostics are matched by *finding identity* - (param, code,
+    severity, message) - not by config line, so moving a setting to a
+    different line is "unchanged" while fixing it is "removed".
+    """
+
+    revision: int
+    previous_revision: int
+    added: tuple[dict, ...]
+    removed: tuple[dict, ...]
+    unchanged: int
+
+    def summary_dict(self) -> dict:
+        return {
+            "revision": self.revision,
+            "previous_revision": self.previous_revision,
+            "added": [dict(item) for item in self.added],
+            "removed": [dict(item) for item in self.removed],
+            "unchanged": self.unchanged,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistoryDelta":
+        return cls(
+            revision=data["revision"],
+            previous_revision=data["previous_revision"],
+            added=tuple(data["added"]),
+            removed=tuple(data["removed"]),
+            unchanged=data["unchanged"],
+        )
+
+
+@dataclass(frozen=True)
+class ConfigHistory:
+    """The audit trail of one tracked config identity."""
+
+    system: str
+    config_id: str
+    revision: int
+    deltas: tuple[HistoryDelta, ...]  # oldest first, bounded depth
+
+    def summary_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "config_id": self.config_id,
+            "revision": self.revision,
+            "deltas": [delta.summary_dict() for delta in self.deltas],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfigHistory":
+        return cls(
+            system=data["system"],
+            config_id=data["config_id"],
+            revision=data["revision"],
+            deltas=tuple(
+                HistoryDelta.from_dict(d) for d in data["deltas"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CheckResponse:
+    """The service's answer to one `CheckRequest`.
+
+    `result_id` names the immutable diagnostic snapshot this response
+    was cut from - the anchor every later `page` call walks.
+    `history` is present only for tracked configs past revision 1.
+    """
+
+    schema_version: int
+    system: str
+    config_id: str | None
+    revision: int
+    result_id: str
+    flagged: bool
+    errors: int
+    warnings: int
+    parameters_present: int
+    parameters_checked: int
+    page: DiagnosticPage
+    history: HistoryDelta | None = None
+
+    def summary_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "system": self.system,
+            "config_id": self.config_id,
+            "revision": self.revision,
+            "result_id": self.result_id,
+            "flagged": self.flagged,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "parameters_present": self.parameters_present,
+            "parameters_checked": self.parameters_checked,
+            "page": self.page.summary_dict(),
+            "history": (
+                self.history.summary_dict() if self.history else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResponse":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ServeError(
+                "schema-mismatch",
+                f"server speaks schema {version}, client expects "
+                f"{SCHEMA_VERSION}",
+            )
+        history = data.get("history")
+        return cls(
+            schema_version=version,
+            system=data["system"],
+            config_id=data["config_id"],
+            revision=data["revision"],
+            result_id=data["result_id"],
+            flagged=data["flagged"],
+            errors=data["errors"],
+            warnings=data["warnings"],
+            parameters_present=data["parameters_present"],
+            parameters_checked=data["parameters_checked"],
+            page=DiagnosticPage.from_dict(data["page"]),
+            history=HistoryDelta.from_dict(history) if history else None,
+        )
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """The always-on service's operational snapshot."""
+
+    schema_version: int
+    systems: tuple[str, ...]  # warm (checker-resident) systems
+    checks_served: int
+    configs_tracked: int
+    results_retained: int
+    uptime_seconds: float
+    warmup_seconds: float
+    workers: int
+    cache_stats: dict = field(default_factory=dict)
+
+    def summary_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "systems": list(self.systems),
+            "checks_served": self.checks_served,
+            "configs_tracked": self.configs_tracked,
+            "results_retained": self.results_retained,
+            "uptime_seconds": self.uptime_seconds,
+            "warmup_seconds": self.warmup_seconds,
+            "workers": self.workers,
+            "cache_stats": self.cache_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetStatus":
+        return cls(
+            schema_version=data["schema_version"],
+            systems=tuple(data["systems"]),
+            checks_served=data["checks_served"],
+            configs_tracked=data["configs_tracked"],
+            results_retained=data["results_retained"],
+            uptime_seconds=data["uptime_seconds"],
+            warmup_seconds=data["warmup_seconds"],
+            workers=data["workers"],
+            cache_stats=data["cache_stats"],
+        )
+
+
+# -- cursors -----------------------------------------------------------------
+#
+# A cursor is an opaque token encoding (result snapshot, offset, the
+# filter it was cut with).  Binding the filter into the cursor keeps a
+# paginated walk self-consistent: the client cannot accidentally
+# change filters mid-walk and silently skip findings.
+
+
+def encode_cursor(
+    result_id: str,
+    offset: int,
+    severity: str | None,
+    kinds: tuple[str, ...],
+) -> str:
+    payload = json.dumps(
+        {"r": result_id, "o": offset, "s": severity, "k": list(kinds)},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> tuple[str, int, str | None, tuple[str, ...]]:
+    """Inverse of `encode_cursor`; raises `ServeError('bad-cursor')`
+    on anything that did not come out of it."""
+    try:
+        payload = json.loads(
+            base64.urlsafe_b64decode(cursor.encode("ascii")).decode("utf-8")
+        )
+        result_id = payload["r"]
+        offset = payload["o"]
+        severity = payload["s"]
+        kinds = tuple(payload["k"])
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        binascii.Error,
+        UnicodeDecodeError,
+    ):
+        raise ServeError("bad-cursor", "unparseable pagination cursor")
+    if not isinstance(result_id, str) or not isinstance(offset, int):
+        raise ServeError("bad-cursor", "malformed pagination cursor")
+    _validate_filters(severity, kinds)
+    return result_id, offset, severity, kinds

@@ -1,0 +1,46 @@
+"""Helpers shared across the serve test tier (non-fixture side).
+
+Lives outside conftest.py so test modules can import it by name under
+rootless pytest imports (`from serveutil import ...`), mirroring the
+basename-uniqueness convention noted in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+from repro.checker import checker_for_system, validate_config
+from repro.pipeline.cache import PipelineCaches
+from repro.systems.registry import get_system
+
+BAD_MYSQL = "ft_min_word_len = 99\nmade_up_param = 1\n"
+CLEAN_MYSQL = "ft_min_word_len = 5\n"
+
+
+def run(coro):
+    """Drive one test coroutine on a fresh event loop (the suite does
+    not depend on pytest-asyncio)."""
+    return asyncio.run(coro)
+
+
+def probe_configs(system) -> list[str]:
+    """Deterministic per-system probe set: the pristine template, a
+    typo'd template, an empty config, and a numerically mangled
+    template that should trip range/relationship constraints."""
+    template = system.default_config
+    mangled = re.sub(r"\d+", "99999999", template, count=3)
+    return [
+        template,
+        template + "\ndefinitely_unknown_param = 1\n",
+        "",
+        mangled,
+    ]
+
+
+def cold_reference(system_name: str, config_text: str):
+    """The cold `check` CLI path, minus the process boot: fresh
+    caches, fresh inference-and-compile, one validation."""
+    caches = PipelineCaches()
+    checker = checker_for_system(get_system(system_name), caches=caches)
+    return validate_config(checker, config_text)

@@ -1,0 +1,208 @@
+"""Golden-schema regression tests for every ``--json`` CLI output.
+
+Each machine-readable CLI surface (pipeline, check, fleet, serve
+status, submit) is reduced to a *schema*: the recursive key set plus
+value types, with list element types unioned.  The schemas are checked
+in under ``tests/serve/golden/`` — a field rename, a dropped key, or a
+type drift (int becoming float, nullable becoming required) fails the
+suite even though the values themselves change run to run.
+
+Regenerate after an intentional schema change with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/serve/test_golden_schemas.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.reporting.cli import main
+
+from serveutil import BAD_MYSQL, CLEAN_MYSQL
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("UPDATE_GOLDENS") == "1"
+
+# Dict fields whose *keys* are data (diagnostic-kind histograms), not
+# schema: recorded as a uniform key->type map instead of a fixed shape.
+MAP_KEYS = {"by_kind"}
+
+
+def merge(a, b):
+    """Union two schemas (``empty`` is the identity element)."""
+    if a == b:
+        return a
+    if a == "empty":
+        return b
+    if b == "empty":
+        return a
+    if isinstance(a, dict) and isinstance(b, dict):
+        ((tag_a, body_a),) = a.items()
+        ((tag_b, body_b),) = b.items()
+        if tag_a == tag_b == "object":
+            keys = sorted(set(body_a) | set(body_b))
+            return {
+                "object": {
+                    key: merge(
+                        body_a.get(key, "absent"), body_b.get(key, "absent")
+                    )
+                    for key in keys
+                }
+            }
+        if tag_a == tag_b:  # array | map
+            return {tag_a: merge(body_a, body_b)}
+    names = set()
+    for schema in (a, b):
+        if isinstance(schema, str):
+            names.update(schema.split("|"))
+        else:  # composite vs scalar: collapse to the composite's tag
+            names.add(next(iter(schema)))
+    return "|".join(sorted(names))
+
+
+def schema_of(value, key=None):
+    """Recursive shape of a decoded-JSON value."""
+    if isinstance(value, bool):  # bool before int: bool is an int subtype
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    if isinstance(value, list):
+        merged = "empty"
+        for element in value:
+            merged = merge(merged, schema_of(element))
+        return {"array": merged}
+    if isinstance(value, dict):
+        if key in MAP_KEYS:
+            merged = "empty"
+            for element in value.values():
+                merged = merge(merged, schema_of(element))
+            return {"map": merged}
+        return {
+            "object": {
+                k: schema_of(v, key=k) for k, v in sorted(value.items())
+            }
+        }
+    raise TypeError(f"non-JSON value: {value!r}")
+
+
+def assert_matches_golden(name: str, payload) -> None:
+    schema = schema_of(payload)
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(schema, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert path.exists(), (
+        f"missing golden {path.name}; regenerate with UPDATE_GOLDENS=1"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert schema == golden, (
+        f"schema drift against {path.name}; if intentional, regenerate "
+        "with UPDATE_GOLDENS=1 and review the diff"
+    )
+
+
+class TestSchemaExtractor:
+    def test_scalars_and_bool_int_distinction(self):
+        assert schema_of(True) == "bool"
+        assert schema_of(3) == "int"
+        assert schema_of(3.0) == "float"
+        assert schema_of(None) == "null"
+
+    def test_list_elements_union(self):
+        assert schema_of([1, 2.5, None]) == {"array": "float|int|null"}
+        assert schema_of([]) == {"array": "empty"}
+
+    def test_object_union_marks_absent_keys(self):
+        merged = schema_of([{"a": 1}, {"a": 2, "b": "x"}])
+        assert merged == {
+            "array": {"object": {"a": "int", "b": "absent|str"}}
+        }
+
+    def test_map_keys_are_data_not_schema(self):
+        one = schema_of({"by_kind": {"range": 1}}, key=None)
+        two = schema_of({"by_kind": {"unknown": 2, "basic": 1}}, key=None)
+        assert one == two == {"object": {"by_kind": {"map": "int"}}}
+
+
+class TestCliGoldenSchemas:
+    def _json_out(self, capsys, argv, expect_code):
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == expect_code, out
+        return json.loads(out)
+
+    def test_check_json_schema(self, capsys, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text(BAD_MYSQL)
+        payload = self._json_out(
+            capsys, ["check", "mysql", str(path), "--json"], expect_code=1
+        )
+        assert_matches_golden("check", payload)
+
+    def test_pipeline_json_schema(self, capsys):
+        payload = self._json_out(
+            capsys,
+            ["pipeline", "--systems", "vsftpd", "--json"],
+            expect_code=0,
+        )
+        assert_matches_golden("pipeline", payload)
+
+    def test_fleet_json_schema(self, capsys):
+        payload = self._json_out(
+            capsys,
+            [
+                "fleet", "--systems", "vsftpd",
+                "--size", "30", "--sample", "3", "--json",
+            ],
+            expect_code=0,
+        )
+        assert_matches_golden("fleet", payload)
+
+    def test_serve_status_json_schema(self, capsys):
+        payload = self._json_out(
+            capsys,
+            ["serve", "--systems", "mysql", "--warmup-only", "--json"],
+            expect_code=0,
+        )
+        assert_matches_golden("serve_status", payload)
+
+    def test_submit_json_schema(self, server, capsys, tmp_path):
+        """Second submission under one identity: the payload carries a
+        populated history delta (removed findings), pages, the lot."""
+        path = tmp_path / "iter.cnf"
+        path.write_text(BAD_MYSQL)
+        base = [
+            "submit", "mysql", str(path),
+            "--port", str(server.port),
+            "--config-id", "golden-schema-demo",
+            "--json",
+        ]
+        self._json_out(capsys, base, expect_code=1)
+        path.write_text(CLEAN_MYSQL)
+        payload = self._json_out(capsys, base, expect_code=0)
+        assert payload["history"] is not None
+        assert_matches_golden("submit", payload)
+
+
+class TestGoldenFilesAreCheckedIn:
+    @pytest.mark.parametrize(
+        "name", ["check", "pipeline", "fleet", "serve_status", "submit"]
+    )
+    def test_golden_exists_and_is_canonical_json(self, name):
+        path = GOLDEN_DIR / f"{name}.json"
+        assert path.exists()
+        text = path.read_text(encoding="utf-8")
+        decoded = json.loads(text)
+        assert text == json.dumps(decoded, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,178 @@
+"""Request validation, filter/page limits, cursors, schema guards."""
+
+import pytest
+
+from repro.serve import (
+    CheckRequest,
+    CheckResponse,
+    DiagnosticPage,
+    FleetStatus,
+    HistoryDelta,
+    MAX_CONFIG_BYTES,
+    MAX_FILTER_KINDS,
+    MAX_PAGE_SIZE,
+    SCHEMA_VERSION,
+    ServeError,
+)
+from repro.serve.models import decode_cursor, encode_cursor
+
+
+def _code(callable_, *args, **kwargs) -> str:
+    with pytest.raises(ServeError) as excinfo:
+        callable_(*args, **kwargs)
+    return excinfo.value.code
+
+
+class TestCheckRequestValidation:
+    def test_minimal_request_is_valid(self):
+        CheckRequest(system="mysql", config_text="port = 1\n").validate()
+
+    def test_full_request_is_valid(self):
+        CheckRequest(
+            system="mysql",
+            config_text="port = 1\n",
+            config_id="prod/my.cnf",
+            page_size=MAX_PAGE_SIZE,
+            severity="error",
+            kinds=("range", "unknown"),
+        ).validate()
+
+    def test_missing_system_rejected(self):
+        request = CheckRequest(system="", config_text="x = 1\n")
+        assert _code(request.validate) == "bad-request"
+
+    def test_page_size_over_limit_rejected(self):
+        request = CheckRequest(
+            system="mysql", config_text="", page_size=MAX_PAGE_SIZE + 1
+        )
+        assert _code(request.validate) == "limit-exceeded"
+
+    def test_page_size_zero_rejected(self):
+        request = CheckRequest(system="mysql", config_text="", page_size=0)
+        assert _code(request.validate) == "bad-request"
+
+    def test_bad_severity_rejected(self):
+        request = CheckRequest(
+            system="mysql", config_text="", severity="critical"
+        )
+        assert _code(request.validate) == "bad-request"
+
+    def test_too_many_kind_filters_rejected(self):
+        request = CheckRequest(
+            system="mysql",
+            config_text="",
+            kinds=tuple(f"basic" for _ in range(MAX_FILTER_KINDS + 1)),
+        )
+        assert _code(request.validate) == "limit-exceeded"
+
+    def test_unknown_kind_rejected(self):
+        request = CheckRequest(
+            system="mysql", config_text="", kinds=("no-such-kind",)
+        )
+        assert _code(request.validate) == "bad-request"
+
+    def test_oversized_config_rejected(self):
+        request = CheckRequest(
+            system="mysql", config_text="x" * (MAX_CONFIG_BYTES + 1)
+        )
+        assert _code(request.validate) == "limit-exceeded"
+
+
+class TestCursors:
+    def test_round_trip(self):
+        cursor = encode_cursor("abc123", 40, "error", ("range", "basic"))
+        assert decode_cursor(cursor) == (
+            "abc123",
+            40,
+            "error",
+            ("range", "basic"),
+        )
+
+    def test_garbage_rejected(self):
+        assert _code(decode_cursor, "not-a-cursor!!") == "bad-cursor"
+
+    def test_wrong_payload_rejected(self):
+        import base64
+
+        cursor = base64.urlsafe_b64encode(b'{"x": 1}').decode()
+        assert _code(decode_cursor, cursor) == "bad-cursor"
+
+    def test_cursor_filter_is_validated(self):
+        # A forged cursor cannot smuggle a filter past the limits.
+        import base64
+        import json
+
+        payload = json.dumps(
+            {"r": "abc", "o": 0, "s": "critical", "k": []}
+        ).encode()
+        cursor = base64.urlsafe_b64encode(payload).decode()
+        assert _code(decode_cursor, cursor) == "bad-request"
+
+
+class TestSchemaRoundTrips:
+    def test_check_response_schema_mismatch_rejected(self):
+        page = DiagnosticPage(
+            items=(), cursor=None, total=0, matched=0, offset=0
+        )
+        data = CheckResponse(
+            schema_version=SCHEMA_VERSION,
+            system="mysql",
+            config_id=None,
+            revision=1,
+            result_id="r1",
+            flagged=False,
+            errors=0,
+            warnings=0,
+            parameters_present=0,
+            parameters_checked=0,
+            page=page,
+        ).summary_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        assert _code(CheckResponse.from_dict, data) == "schema-mismatch"
+
+    def test_check_response_round_trip(self):
+        page = DiagnosticPage(
+            items=({"param": "p", "kind": "range", "severity": "error"},),
+            cursor="next",
+            total=3,
+            matched=1,
+            offset=0,
+        )
+        history = HistoryDelta(
+            revision=2,
+            previous_revision=1,
+            added=(),
+            removed=({"param": "q"},),
+            unchanged=1,
+        )
+        response = CheckResponse(
+            schema_version=SCHEMA_VERSION,
+            system="mysql",
+            config_id="id",
+            revision=2,
+            result_id="r2",
+            flagged=True,
+            errors=1,
+            warnings=0,
+            parameters_present=2,
+            parameters_checked=2,
+            page=page,
+            history=history,
+        )
+        assert (
+            CheckResponse.from_dict(response.summary_dict()) == response
+        )
+
+    def test_fleet_status_round_trip(self):
+        status = FleetStatus(
+            schema_version=SCHEMA_VERSION,
+            systems=("mysql", "squid"),
+            checks_served=7,
+            configs_tracked=2,
+            results_retained=5,
+            uptime_seconds=1.25,
+            warmup_seconds=0.5,
+            workers=4,
+            cache_stats={"checkers": {"hits": 1}},
+        )
+        assert FleetStatus.from_dict(status.summary_dict()) == status

@@ -1,0 +1,205 @@
+"""Cursor pagination and server-side filtering.
+
+The invariants under test: pages concatenate to exactly the serial
+diagnostic list, the filter travels inside the cursor, limits are
+enforced server-side, and an open cursor is immune to interleaved
+submissions (snapshots are immutable).
+"""
+
+import pytest
+
+from repro.serve import MAX_PAGE_SIZE, ServeError
+
+from serveutil import BAD_MYSQL, cold_reference, run
+
+# A config tripping many diagnostics: several bad values + unknowns.
+NOISY_MYSQL = (
+    "ft_min_word_len = 99\n"
+    "port = 70000\n"
+    "made_up_param_one = 1\n"
+    "made_up_param_two = 2\n"
+)
+
+
+def _walk(service, response):
+    """Collect every page item by following cursors."""
+    items = list(response.page.items)
+    cursor = response.page.cursor
+    while cursor is not None:
+        page = service.page(cursor)
+        items.extend(page.items)
+        cursor = page.cursor
+    return items
+
+
+class TestPagination:
+    def test_page_size_respected_and_walk_is_complete(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                response = await service.check_config(
+                    "mysql", NOISY_MYSQL, page_size=2
+                )
+                return response, _walk(service, response)
+            finally:
+                await service.close()
+
+        response, items = run(main())
+        reference = [
+            d.summary_dict()
+            for d in cold_reference("mysql", NOISY_MYSQL).diagnostics
+        ]
+        assert len(response.page.items) == 2
+        assert response.page.total == len(reference)
+        assert response.page.matched == len(reference)
+        assert items == reference
+
+    def test_terminal_page_has_no_cursor(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                return await service.check_config(
+                    "mysql", NOISY_MYSQL, page_size=MAX_PAGE_SIZE
+                )
+            finally:
+                await service.close()
+
+        response = run(main())
+        assert response.page.cursor is None
+        assert len(response.page.items) == response.page.matched
+
+    def test_offsets_advance(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                response = await service.check_config(
+                    "mysql", NOISY_MYSQL, page_size=2
+                )
+                second = service.page(response.page.cursor)
+                return response.page, second
+            finally:
+                await service.close()
+
+        first, second = run(main())
+        assert first.offset == 0
+        assert second.offset == 2
+
+    def test_page_limit_enforced_on_page_calls(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                response = await service.check_config(
+                    "mysql", NOISY_MYSQL, page_size=1
+                )
+                with pytest.raises(ServeError) as excinfo:
+                    service.page(
+                        response.page.cursor, limit=MAX_PAGE_SIZE + 1
+                    )
+                return excinfo.value.code
+            finally:
+                await service.close()
+
+        assert run(main()) == "limit-exceeded"
+
+
+class TestFiltering:
+    def test_severity_filter(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                response = await service.check_config(
+                    "mysql", NOISY_MYSQL, severity="error", page_size=100
+                )
+                return response
+            finally:
+                await service.close()
+
+        response = run(main())
+        assert response.page.matched == response.errors
+        assert all(
+            item["severity"] == "error" for item in response.page.items
+        )
+        # Counts still describe the whole result, not the filtered view.
+        assert response.page.total == response.errors + response.warnings
+
+    def test_kind_filter(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                return await service.check_config(
+                    "mysql", NOISY_MYSQL, kinds=("unknown",), page_size=100
+                )
+            finally:
+                await service.close()
+
+        response = run(main())
+        assert response.page.matched == 2
+        assert all(
+            item["kind"] == "unknown" for item in response.page.items
+        )
+
+    def test_filter_travels_in_cursor(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                response = await service.check_config(
+                    "mysql", NOISY_MYSQL, severity="error", page_size=1
+                )
+                items = _walk(service, response)
+                return response, items
+            finally:
+                await service.close()
+
+        response, items = run(main())
+        assert len(items) == response.errors
+        assert all(item["severity"] == "error" for item in items)
+
+
+class TestCursorStability:
+    def test_open_cursor_survives_interleaved_submissions(
+        self, make_service
+    ):
+        """A paginated walk started before N other submissions must
+        return exactly what an uninterrupted walk returns."""
+
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                baseline = await service.check_config(
+                    "mysql", NOISY_MYSQL, page_size=100
+                )
+                uninterrupted = list(baseline.page.items)
+
+                walked = await service.check_config(
+                    "mysql", NOISY_MYSQL + "# v2\n", page_size=1
+                )
+                items = list(walked.page.items)
+                cursor = walked.page.cursor
+                step = 0
+                while cursor is not None:
+                    # Interleave a different submission per page step.
+                    await service.check_config(
+                        "mysql",
+                        BAD_MYSQL + f"interleaved_{step} = 1\n",
+                        config_id=f"other-{step}",
+                    )
+                    page = service.page(cursor)
+                    items.extend(page.items)
+                    cursor = page.cursor
+                    step += 1
+                return uninterrupted, items
+            finally:
+                await service.close()
+
+        uninterrupted, items = run(main())
+        # "# v2" only shifts nothing: the diagnostics are identical.
+        assert items == uninterrupted
+        assert len(items) > 2  # the walk really was multi-page

@@ -1,0 +1,286 @@
+"""Service-core behaviour: warm-up, checking, history, eviction."""
+
+import pytest
+
+from repro.serve import MAX_HISTORY_DEPTH, ServeError
+from repro.serve.service import _diff
+
+from serveutil import BAD_MYSQL, CLEAN_MYSQL, cold_reference, run
+
+
+class TestLifecycle:
+    def test_start_warms_requested_systems(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql", "squid"])
+            await service.start()
+            try:
+                return service.status()
+            finally:
+                await service.close()
+
+        status = run(main())
+        assert status.systems == ("mysql", "squid")
+        assert status.warmup_seconds > 0
+
+    def test_unknown_system_fails_at_construction(self, make_service):
+        with pytest.raises(KeyError):
+            make_service(systems=["bogus"])
+
+    def test_check_before_start_refused(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.check_config("mysql", "")
+
+        with pytest.raises(ServeError) as excinfo:
+            run(main())
+        assert excinfo.value.code == "bad-request"
+
+    def test_start_is_idempotent(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            first = service.status().warmup_seconds
+            await service.start()
+            try:
+                return first, service.status().warmup_seconds
+            finally:
+                await service.close()
+
+        first, second = run(main())
+        assert first == second
+
+    def test_unserved_system_refused(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                await service.check_config("squid", "")
+            finally:
+                await service.close()
+
+        with pytest.raises(ServeError) as excinfo:
+            run(main())
+        assert excinfo.value.code == "unknown-system"
+
+
+class TestChecking:
+    def test_clean_template_not_flagged(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                from repro.systems.registry import get_system
+
+                return await service.check_config(
+                    "mysql", get_system("mysql").default_config
+                )
+            finally:
+                await service.close()
+
+        response = run(main())
+        assert not response.flagged and response.errors == 0
+
+    def test_bad_config_flagged_and_matches_cold_check(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                return await service.check_config(
+                    "mysql", BAD_MYSQL, page_size=100
+                )
+            finally:
+                await service.close()
+
+        response = run(main())
+        reference = cold_reference("mysql", BAD_MYSQL)
+        assert response.flagged
+        assert response.errors == len(reference.errors())
+        assert response.warnings == len(reference.warnings())
+        assert list(response.page.items) == [
+            d.summary_dict() for d in reference.diagnostics
+        ]
+
+    def test_counters_advance(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                await service.check_config("mysql", CLEAN_MYSQL)
+                await service.check_config(
+                    "mysql", BAD_MYSQL, config_id="tracked"
+                )
+                return service.status()
+            finally:
+                await service.close()
+
+        status = run(main())
+        assert status.checks_served == 2
+        assert status.configs_tracked == 1
+        assert status.results_retained == 2
+
+
+class TestHistory:
+    def test_anonymous_submission_has_no_history(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                first = await service.check_config("mysql", BAD_MYSQL)
+                second = await service.check_config("mysql", BAD_MYSQL)
+                return first, second
+            finally:
+                await service.close()
+
+        first, second = run(main())
+        assert first.revision == 1 and second.revision == 1
+        assert first.history is None and second.history is None
+
+    def test_revisions_and_delta(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                first = await service.check_config(
+                    "mysql", BAD_MYSQL, config_id="c"
+                )
+                second = await service.check_config(
+                    "mysql", CLEAN_MYSQL + "made_up_param = 1\n",
+                    config_id="c",
+                )
+                return first, second
+            finally:
+                await service.close()
+
+        first, second = run(main())
+        assert (first.revision, second.revision) == (1, 2)
+        assert first.history is None
+        delta = second.history
+        assert delta.previous_revision == 1
+        # The range error and its value-relationship sibling are fixed;
+        # the unknown-parameter warning survives.
+        assert len(delta.removed) == first.errors
+        assert delta.added == ()
+        assert delta.unchanged == 1
+
+    def test_new_finding_is_added(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                await service.check_config(
+                    "mysql", CLEAN_MYSQL, config_id="c"
+                )
+                return await service.check_config(
+                    "mysql", "ft_min_word_len = 99\n", config_id="c"
+                )
+            finally:
+                await service.close()
+
+        second = run(main())
+        assert len(second.history.added) == second.errors
+        assert second.history.removed == ()
+
+    def test_line_moves_are_unchanged(self, make_service):
+        """The diff keys findings by what they are, not where they sit."""
+
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                await service.check_config(
+                    "mysql", "ft_min_word_len = 99\n", config_id="c"
+                )
+                return await service.check_config(
+                    "mysql",
+                    "# a comment pushes everything down\n"
+                    "ft_min_word_len = 99\n",
+                    config_id="c",
+                )
+            finally:
+                await service.close()
+
+        second = run(main())
+        assert second.history.added == ()
+        assert second.history.removed == ()
+        assert second.history.unchanged == second.errors + second.warnings
+
+    def test_history_endpoint_and_unknown_config(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                for text in (BAD_MYSQL, CLEAN_MYSQL, BAD_MYSQL):
+                    await service.check_config(
+                        "mysql", text, config_id="audit"
+                    )
+                history = service.history("mysql", "audit")
+                with pytest.raises(ServeError) as excinfo:
+                    service.history("mysql", "nobody")
+                return history, excinfo.value.code
+            finally:
+                await service.close()
+
+        history, code = run(main())
+        assert history.revision == 3
+        assert len(history.deltas) == 2
+        assert [d.revision for d in history.deltas] == [2, 3]
+        assert code == "unknown-config"
+
+    def test_history_depth_is_bounded(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                for i in range(MAX_HISTORY_DEPTH + 5):
+                    await service.check_config(
+                        "mysql",
+                        f"ft_min_word_len = {5 + i % 2}\n",
+                        config_id="deep",
+                    )
+                return service.history("mysql", "deep")
+            finally:
+                await service.close()
+
+        history = run(main())
+        assert history.revision == MAX_HISTORY_DEPTH + 5
+        assert len(history.deltas) == MAX_HISTORY_DEPTH
+        # Oldest deltas fell off the front; the tail is contiguous.
+        assert history.deltas[-1].revision == history.revision
+
+
+class TestEviction:
+    def test_result_eviction_expires_cursors(self, make_service):
+        async def main():
+            service = make_service(systems=["mysql"], max_results=2)
+            await service.start()
+            try:
+                first = await service.check_config(
+                    "mysql", BAD_MYSQL, page_size=1
+                )
+                assert first.page.cursor is not None
+                # Two more submissions evict the first snapshot.
+                await service.check_config("mysql", BAD_MYSQL + "a = 1\n")
+                await service.check_config("mysql", BAD_MYSQL + "b = 2\n")
+                with pytest.raises(ServeError) as excinfo:
+                    service.page(first.page.cursor)
+                return excinfo.value.code
+            finally:
+                await service.close()
+
+        assert run(main()) == "cursor-expired"
+
+
+class TestDiff:
+    def test_multiset_semantics(self):
+        one = {"param": "p", "code": "c", "severity": "error",
+               "message": "m", "config_line": 1}
+        dup = dict(one, config_line=9)
+        other = {"param": "q", "code": "c", "severity": "error",
+                 "message": "n", "config_line": 2}
+        delta = _diff((one, dup), (one, other), revision=2)
+        assert delta.unchanged == 1
+        assert delta.added == (other,)
+        # One of the two identity-equal duplicates is gone; which
+        # config_line it carried is not part of the finding identity.
+        assert len(delta.removed) == 1
+        assert delta.removed[0]["param"] == "p"

@@ -1,0 +1,257 @@
+"""The NDJSON wire protocol: happy paths, refusals, DoS guards, and
+the serve/submit CLI commands end to end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.reporting.cli import main
+from repro.serve import BackgroundServer, MAX_CONFIG_BYTES, ServeClient, ServeError
+from repro.serve.server import MAX_LINE_BYTES
+
+from serveutil import BAD_MYSQL, run
+
+
+async def _raw_call(server, payload: bytes) -> dict:
+    """Send raw bytes (one line) and decode the one-line response."""
+    reader, writer = await asyncio.open_connection(
+        server.host, server.port, limit=MAX_LINE_BYTES
+    )
+    try:
+        writer.write(payload)
+        await writer.drain()
+        line = await reader.readline()
+        return json.loads(line.decode("utf-8"))
+    finally:
+        writer.close()
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        async def main_():
+            async with await ServeClient.connect(
+                server.host, server.port
+            ) as client:
+                return await client.ping()
+
+        assert run(main_()) is True
+
+    def test_malformed_json_line(self, server):
+        envelope = run(_raw_call(server, b"this is not json\n"))
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "bad-request"
+
+    def test_non_object_request(self, server):
+        envelope = run(_raw_call(server, b"[1, 2, 3]\n"))
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "bad-request"
+
+    def test_unknown_op(self, server):
+        envelope = run(_raw_call(server, b'{"op": "frobnicate"}\n'))
+        assert envelope["error"]["code"] == "bad-op"
+
+    def test_page_without_cursor(self, server):
+        envelope = run(_raw_call(server, b'{"op": "page"}\n'))
+        assert envelope["error"]["code"] == "bad-request"
+
+    def test_schema_version_in_every_envelope(self, server):
+        envelope = run(_raw_call(server, b'{"op": "ping"}\n'))
+        assert envelope["schema_version"] == 1
+        envelope = run(_raw_call(server, b'{"op": "nope"}\n'))
+        assert envelope["schema_version"] == 1
+
+    def test_errors_propagate_as_typed_exceptions(self, server):
+        async def main_():
+            async with await ServeClient.connect(
+                server.host, server.port
+            ) as client:
+                await client.history("mysql", "never-submitted-id")
+
+        with pytest.raises(ServeError) as excinfo:
+            run(main_())
+        assert excinfo.value.code == "unknown-config"
+
+    def test_unknown_system_over_wire(self, server):
+        async def main_():
+            async with await ServeClient.connect(
+                server.host, server.port
+            ) as client:
+                await client.check("not-a-system", "")
+
+        with pytest.raises(ServeError) as excinfo:
+            run(main_())
+        assert excinfo.value.code == "unknown-system"
+
+
+class TestDosGuards:
+    def test_oversized_config_rejected_over_wire(self, server):
+        async def main_():
+            async with await ServeClient.connect(
+                server.host, server.port
+            ) as client:
+                await client.check(
+                    "mysql", "x" * (MAX_CONFIG_BYTES + 1)
+                )
+
+        with pytest.raises(ServeError) as excinfo:
+            run(main_())
+        assert excinfo.value.code == "limit-exceeded"
+
+    def test_oversized_line_refused_unparsed(self, server):
+        line = b'{"padding": "' + b"x" * (MAX_LINE_BYTES + 1024) + b'"}\n'
+        envelope = run(_raw_call(server, line))
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "limit-exceeded"
+
+    def test_connection_survives_refused_requests(self, server):
+        """A refusal answers the request; it does not poison the
+        connection for the next one."""
+
+        async def main_():
+            async with await ServeClient.connect(
+                server.host, server.port
+            ) as client:
+                with pytest.raises(ServeError):
+                    await client.check("not-a-system", "")
+                return await client.ping()
+
+        assert run(main_()) is True
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_the_server(self, warm_caches):
+        handle = BackgroundServer(
+            systems=["mysql"], caches=warm_caches
+        ).start()
+        port = handle.port
+
+        async def main_():
+            client = await ServeClient.connect(handle.host, port)
+            await client.shutdown()
+            await client.close()
+
+        run(main_())
+        handle.stop()  # joins the loop thread
+
+        async def reconnect():
+            await asyncio.open_connection(handle.host, port)
+
+        with pytest.raises(OSError):
+            run(reconnect())
+
+
+class TestSubmitCli:
+    def test_flagged_submission_exits_one(self, server, capsys, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text(BAD_MYSQL)
+        code = main(
+            ["submit", "mysql", str(path), "--port", str(server.port)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fix:" in out and "evidence:" in out
+
+    def test_clean_submission_exits_zero(self, server, capsys, tmp_path):
+        path = tmp_path / "ok.cnf"
+        path.write_text("ft_min_word_len = 5\n")
+        code = main(
+            ["submit", "mysql", str(path), "--port", str(server.port)]
+        )
+        assert code == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, server, capsys, tmp_path):
+        code = main(
+            [
+                "submit",
+                "mysql",
+                str(tmp_path / "absent.cnf"),
+                "--port",
+                str(server.port),
+            ]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "x.cnf"
+        path.write_text("")
+        code = main(["submit", "mysql", str(path), "--port", "1"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_unknown_system_exits_two(self, server, capsys, tmp_path):
+        path = tmp_path / "x.cnf"
+        path.write_text("")
+        code = main(
+            ["submit", "nope", str(path), "--port", str(server.port)]
+        )
+        assert code == 2
+        assert "refused" in capsys.readouterr().err
+
+    def test_history_shown_on_resubmission(self, server, capsys, tmp_path):
+        path = tmp_path / "iter.cnf"
+        path.write_text(BAD_MYSQL)
+        config_id = "cli-history-demo"
+        main(
+            [
+                "submit", "mysql", str(path),
+                "--port", str(server.port),
+                "--config-id", config_id,
+            ]
+        )
+        capsys.readouterr()
+        path.write_text("ft_min_word_len = 5\n")
+        code = main(
+            [
+                "submit", "mysql", str(path),
+                "--port", str(server.port),
+                "--config-id", config_id,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "since revision 1" in out
+        assert "resolved" in out
+
+    def test_severity_filter_flag(self, server, capsys, tmp_path):
+        path = tmp_path / "warn.cnf"
+        path.write_text(BAD_MYSQL)
+        code = main(
+            [
+                "submit", "mysql", str(path),
+                "--port", str(server.port),
+                "--severity", "warning",
+                "--json",
+            ]
+        )
+        decoded = json.loads(capsys.readouterr().out)
+        assert code == 1  # flagged status is filter-independent
+        assert all(
+            d["severity"] == "warning" for d in decoded["diagnostics"]
+        )
+        assert decoded["errors"] > 0
+
+
+class TestServeCli:
+    def test_warmup_only_json(self, capsys):
+        code = main(
+            ["serve", "--systems", "mysql", "--warmup-only", "--json"]
+        )
+        decoded = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert decoded["systems"] == ["mysql"]
+        assert decoded["schema_version"] == 1
+        assert decoded["checks_served"] == 0
+
+    def test_warmup_only_text(self, capsys):
+        code = main(["serve", "--systems", "mysql", "--warmup-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warmed 1 checker(s)" in out
+
+    def test_unknown_system_exits_two(self, capsys):
+        code = main(["serve", "--systems", "bogus", "--warmup-only"])
+        assert code == 2
+        assert "unknown system" in capsys.readouterr().err

@@ -45,6 +45,18 @@ COMPILED = InterpreterOptions(max_steps=400_000, max_virtual_seconds=120.0)
 LAUNCH_REPS = 3
 
 
+def dump_payload(payload: dict) -> str:
+    """Canonical serialisation for every BENCH_*.json artifact: sorted
+    keys, two-space indent, trailing newline.  Key order never depends
+    on insertion order, so two dumps of equal payloads are
+    byte-identical and regenerated files diff cleanly."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_payload(path: Path, payload: dict) -> None:
+    path.write_text(dump_payload(payload), encoding="utf-8")
+
+
 def _launch_pass(harness, system) -> int:
     """One startup launch plus every functional test; returns the
     number of launches driven."""
@@ -134,7 +146,7 @@ def main() -> int:
         print(f"{system.name}: {payload['systems'][system.name]}")
     payload["campaign"] = bench_campaigns()
     print(f"campaign: {payload['campaign']}")
-    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_payload(OUTPUT, payload)
     print(f"wrote {OUTPUT}")
     return 0
 
