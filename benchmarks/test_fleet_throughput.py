@@ -67,7 +67,7 @@ def cold_serial(caches):
 def test_fleet_scale_and_throughput(cold_serial):
     report, duration = cold_serial
     assert report.total_configs >= 10_000
-    assert len(report.results) == 7
+    assert len(report.results) == 8
     emit(
         f"Fleet: {report.total_configs} configs over "
         f"{len(report.results)} systems in {duration:.2f}s "

@@ -78,7 +78,7 @@ def _sharded_sweep(base_caches, batch_executor):
 def test_intracampaign_sharding_parity(cold_serial, base_caches, batch_executor):
     reference, serial_duration = cold_serial
     report, duration = _sharded_sweep(base_caches, batch_executor)
-    assert len(report.runs) == 7
+    assert len(report.runs) == 8
     assert report.vulnerability_sets() == reference.vulnerability_sets()
     assert (
         report.total_misconfigurations()

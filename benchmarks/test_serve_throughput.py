@@ -41,6 +41,17 @@ CONFIGS = [
     "ft_min_word_len = 6\nmax_connections = 151\n",
 ]
 
+# The declarative nginx system rides the same service; its rotation
+# leans on access-control diagnostics (denied directory, bad mode).
+NGINX_CLIENTS = 4
+NGINX_CHECKS_PER_CLIENT = 75
+NGINX_CONFIGS = [
+    "worker_processes 4\n",
+    "root /data/restricted_dir\nuser www-data\n",
+    "upload_store_mode 899\n",
+    "listen 8080\nkeepalive_timeout 65\n",
+]
+
 
 @pytest.fixture(scope="module")
 def cold_cli_rate(tmp_path_factory):
@@ -63,34 +74,50 @@ def cold_cli_rate(tmp_path_factory):
     return COLD_CLI_REPS / duration, duration
 
 
-def test_sustained_serve_throughput_vs_cold_cli(cold_cli_rate):
-    cli_rate, cli_duration = cold_cli_rate
-
-    with BackgroundServer(systems=["mysql"]) as handle:
+def _measure_serve(
+    system: str,
+    configs: list[str],
+    n_clients: int,
+    checks_per_client: int,
+) -> tuple[int, float, int]:
+    """(total checks, wall seconds, flagged responses) for one system
+    served to `n_clients` concurrent clients."""
+    with BackgroundServer(systems=[system]) as handle:
 
         async def one_client(index: int) -> int:
             client = await ServeClient.connect(handle.host, handle.port)
+            flagged = 0
             try:
-                for i in range(CHECKS_PER_CLIENT):
-                    text = CONFIGS[(index + i) % len(CONFIGS)]
+                for i in range(checks_per_client):
+                    text = configs[(index + i) % len(configs)]
                     response = await client.check(
-                        "mysql", text, config_id=f"bench-{index}"
+                        system, text, config_id=f"bench-{system}-{index}"
                     )
                     assert response.revision == i + 1
-                return CHECKS_PER_CLIENT
+                    if response.flagged:
+                        flagged += 1
+                return flagged
             finally:
                 await client.close()
 
         async def drive() -> int:
             totals = await asyncio.gather(
-                *(one_client(i) for i in range(N_CLIENTS))
+                *(one_client(i) for i in range(n_clients))
             )
             return sum(totals)
 
         started = time.perf_counter()
-        checks = asyncio.run(drive())
-        serve_duration = time.perf_counter() - started
+        flagged = asyncio.run(drive())
+        duration = time.perf_counter() - started
+    return n_clients * checks_per_client, duration, flagged
 
+
+def test_sustained_serve_throughput_vs_cold_cli(cold_cli_rate):
+    cli_rate, cli_duration = cold_cli_rate
+
+    checks, serve_duration, _ = _measure_serve(
+        "mysql", CONFIGS, N_CLIENTS, CHECKS_PER_CLIENT
+    )
     serve_rate = checks / serve_duration
     speedup = serve_rate / cli_rate
     emit(
@@ -100,6 +127,20 @@ def test_sustained_serve_throughput_vs_cold_cli(cold_cli_rate):
         f"{cli_duration:.2f}s) - {speedup:.0f}x"
     )
     assert speedup >= REQUIRED_SPEEDUP
+
+    # The declarative eighth system through the same service; half its
+    # rotation carries access-control mistakes, so flagged responses
+    # prove those diagnostics survive the serve tier under concurrency.
+    nginx_checks, nginx_duration, nginx_flagged = _measure_serve(
+        "nginx", NGINX_CONFIGS, NGINX_CLIENTS, NGINX_CHECKS_PER_CLIENT
+    )
+    nginx_rate = nginx_checks / nginx_duration
+    emit(
+        f"serve[nginx]: {nginx_checks} checks in {nginx_duration:.2f}s "
+        f"({nginx_rate:.0f} checks/s), {nginx_flagged} flagged "
+        "(access-control rotation)"
+    )
+    assert nginx_flagged == nginx_checks // 2
 
     write_payload(
         OUTPUT,
@@ -115,6 +156,22 @@ def test_sustained_serve_throughput_vs_cold_cli(cold_cli_rate):
             "serve_checks_per_s": round(serve_rate, 2),
             "speedup": round(speedup, 1),
             "required_speedup": REQUIRED_SPEEDUP,
+            "systems": [
+                {
+                    "system": "mysql",
+                    "clients": N_CLIENTS,
+                    "checks": checks,
+                    "checks_per_s": round(serve_rate, 2),
+                    "flagged": None,
+                },
+                {
+                    "system": "nginx",
+                    "clients": NGINX_CLIENTS,
+                    "checks": nginx_checks,
+                    "checks_per_s": round(nginx_rate, 2),
+                    "flagged": nginx_flagged,
+                },
+            ],
         },
     )
     emit(f"wrote {OUTPUT}")

@@ -33,10 +33,11 @@ from __future__ import annotations
 import difflib
 import math
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.constraints import (
+    AccessControlConstraint,
     BasicTypeConstraint,
     Behavior,
     ControlDepConstraint,
@@ -50,10 +51,11 @@ from repro.inject.ar import ConfigAR, ConfigDialect
 from repro.knowledge import SemanticType
 from repro.lang import types as ct
 from repro.lang.source import Location
-from repro.runtime.os_model import valid_ipv4
+from repro.runtime.os_model import node_allows, valid_ipv4
 from repro.systems.base import SubjectSystem, decode_bool, decode_size
 from repro.checker.validate import (
     ERROR,
+    KIND_ACCESS_CONTROL,
     KIND_BASIC,
     KIND_CTRL_DEP,
     KIND_RANGE,
@@ -87,6 +89,12 @@ class EnvView:
     users: frozenset[str]
     groups: frozenset[str]
     hosts: frozenset[str]
+    # ACL facts for access-control validators; paths absent from these
+    # maps fall back to permissive defaults (a bare EnvView without
+    # ACL data never *proves* an access denial).
+    modes: dict[str, int] = field(default_factory=dict)
+    owners: dict[str, str] = field(default_factory=dict)
+    read_only: frozenset[str] = frozenset()
 
     @classmethod
     def from_os(cls, os_model) -> "EnvView":
@@ -98,6 +106,17 @@ class EnvView:
             users=frozenset(os_model.users),
             groups=frozenset(os_model.groups),
             hosts=frozenset(os_model.hosts),
+            modes={
+                path: node.mode for path, node in os_model.files.items()
+            },
+            owners={
+                path: node.owner for path, node in os_model.files.items()
+            },
+            read_only=frozenset(
+                path
+                for path, node in os_model.files.items()
+                if not node.writable
+            ),
         )
 
     def exists(self, path: str) -> bool:
@@ -112,6 +131,23 @@ class EnvView:
 
     def resolves(self, name: str) -> bool:
         return name in self.hosts or valid_ipv4(name)
+
+    def can_read(self, path: str, user: str) -> bool:
+        return self._allows(path, user, write=False)
+
+    def can_write(self, path: str, user: str) -> bool:
+        return self._allows(path, user, write=True)
+
+    def _allows(self, path: str, user: str, write: bool) -> bool:
+        # `node_allows` is the runtime's rule verbatim, so the static
+        # checker and the emulated OS agree on every verdict.
+        return node_allows(
+            self.modes.get(path, 0o777),
+            self.owners.get(path, user),
+            path not in self.read_only,
+            user,
+            write,
+        )
 
 
 @dataclass
@@ -166,7 +202,16 @@ def compile_checker(
         if built is None:
             continue
         compiled += 1
-        if isinstance(constraint, (ControlDepConstraint, ValueRelConstraint)):
+        if isinstance(
+            constraint,
+            (
+                ControlDepConstraint,
+                ValueRelConstraint,
+                AccessControlConstraint,
+            ),
+        ):
+            # Access-control checks join the cross-parameter pass: the
+            # path verdict can hinge on a second (identity) parameter.
             pairs.append(built)
         else:
             per_param.setdefault(constraint.param, []).append(built)
@@ -275,6 +320,13 @@ def _constraint_identity(constraint) -> tuple | None:
             normalized.op,
             normalized.other_param,
         )
+    if isinstance(constraint, AccessControlConstraint):
+        return (
+            constraint.param,
+            "access",
+            constraint.operation,
+            constraint.user_param,
+        )
     return None
 
 
@@ -291,6 +343,8 @@ def _compile_one(constraint, env: EnvView, defaults: dict[str, str]):
         return _compile_control_dep(constraint, defaults)
     if isinstance(constraint, ValueRelConstraint):
         return _compile_value_rel(constraint, defaults)
+    if isinstance(constraint, AccessControlConstraint):
+        return _compile_access_control(constraint, env, defaults)
     return None
 
 
@@ -745,6 +799,118 @@ def _compile_value_rel(
         ]
 
     return check_rel
+
+
+def _compile_access_control(
+    constraint: AccessControlConstraint,
+    env: EnvView,
+    defaults: dict[str, str],
+) -> PairValidator:
+    param, location = constraint.param, constraint.location
+    operation, user_param = constraint.operation, constraint.user_param
+
+    if operation == "mode":
+
+        def check_mode(
+            values: dict[str, tuple[str, int]]
+        ) -> list[Diagnostic]:
+            if param not in values:
+                return []
+            value, line = values[param]
+            text = value.strip()
+            try:
+                mode = int(text, 8)
+            except ValueError:
+                mode = -1
+            if mode < 0 or mode > 0o7777:
+                return [
+                    _diag(
+                        param, KIND_ACCESS_CONTROL, "invalid-permission",
+                        line, location,
+                        f"the software installs {param} verbatim as a "
+                        f"permission mode (chmod), and {text!r} is not an "
+                        "octal mode",
+                        "use an octal permission mode such as 0644 or 0750",
+                    )
+                ]
+            if mode & 0o002:
+                return [
+                    _diag(
+                        param, KIND_ACCESS_CONTROL, "world-writable", line,
+                        location,
+                        f"mode {text} grants write access to every user "
+                        "on the host",
+                        "drop the world-writable bit (e.g. use 0755)",
+                        severity=WARNING,
+                    )
+                ]
+            return []
+
+        return check_mode
+
+    def check_access(
+        values: dict[str, tuple[str, int]]
+    ) -> list[Diagnostic]:
+        # Only fire when the user actually touched the pair; a config
+        # that keeps both vendor defaults is calibration's business.
+        if param not in values and (
+            not user_param or user_param not in values
+        ):
+            return []
+        path_text = (
+            values[param][0] if param in values else defaults.get(param)
+        )
+        if path_text is None:
+            return []
+        path = path_text.strip()
+        if not path.startswith("/"):
+            return []
+        user_text = None
+        if user_param:
+            user_text = (
+                values[user_param][0]
+                if user_param in values
+                else defaults.get(user_param)
+            )
+        user = (user_text or "root").strip()
+        if user not in env.users:
+            return []  # the unknown-user semantic validator reports it
+        if not env.exists(path):
+            return []  # the path semantic validators report it
+        allowed = (
+            env.can_read(path, user)
+            if operation == "read"
+            else env.can_write(path, user)
+        )
+        if allowed:
+            return []
+        line = (
+            values[param][1]
+            if param in values
+            else values[user_param][1]
+        )
+        mode = env.modes.get(path)
+        owner = env.owners.get(path)
+        facts = (
+            f" (mode {mode:04o}, owner {owner})"
+            if mode is not None and owner is not None
+            else ""
+        )
+        actor = f"user {user!r}"
+        if user_param:
+            actor += f" (the identity {user_param} selects)"
+        return [
+            _diag(
+                param, KIND_ACCESS_CONTROL,
+                f"{operation}-access-denied", line, location,
+                f"the software must {operation} {path}, but {actor} has "
+                f"no {operation} permission there{facts}",
+                f"grant {user!r} {operation} access to {path}, or point "
+                f"{param} at a path that identity can {operation}",
+            )
+        ]
+
+    return check_access
 
 
 # -- small helpers -----------------------------------------------------------

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.constraints import (
+    AccessControlConstraint,
     BasicTypeConstraint,
     ControlDepConstraint,
     EnumRangeConstraint,
@@ -59,7 +60,8 @@ def register_mistake_mix(system: str, mix: dict[str, float]) -> None:
     """Override the mistake-kind distribution for one system.
 
     `mix` maps constraint-kind slugs (basic / semantic / range /
-    ctrl_dep / value_rel) to relative weights; weights are normalised
+    ctrl_dep / value_rel / access_control) to relative weights;
+    weights are normalised
     at sampling time.  This is the corpus's extension hook for systems
     whose user population errs differently from the studied four."""
     cleaned = {k: float(v) for k, v in mix.items() if float(v) > 0}
@@ -104,6 +106,8 @@ def kind_of(constraint) -> str | None:
         return "ctrl_dep"
     if isinstance(constraint, ValueRelConstraint):
         return "value_rel"
+    if isinstance(constraint, AccessControlConstraint):
+        return "access_control"
     return None
 
 

@@ -44,6 +44,7 @@ KIND_SEMANTIC = "semantic"
 KIND_RANGE = "range"
 KIND_CTRL_DEP = "ctrl_dep"
 KIND_VALUE_REL = "value_rel"
+KIND_ACCESS_CONTROL = "access_control"
 KIND_UNKNOWN_PARAM = "unknown"
 
 CONSTRAINT_KINDS = (
@@ -52,6 +53,7 @@ CONSTRAINT_KINDS = (
     KIND_RANGE,
     KIND_CTRL_DEP,
     KIND_VALUE_REL,
+    KIND_ACCESS_CONTROL,
 )
 
 

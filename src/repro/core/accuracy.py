@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.core.constraints import (
+    AccessControlConstraint,
     BasicTypeConstraint,
     Constraint,
     ConstraintSet,
@@ -31,7 +32,7 @@ class TruthEntry:
     """One ground-truth constraint in comparable form."""
 
     param: str
-    kind: str  # basic | semantic | range | ctrl_dep | value_rel
+    kind: str  # basic | semantic | range | ctrl_dep | value_rel | access_control
     detail: object = None
 
 
@@ -54,6 +55,10 @@ def truth_ctrl_dep(param: str, dep_param: str) -> TruthEntry:
 def truth_value_rel(param: str, other: str) -> TruthEntry:
     pair = tuple(sorted((param, other)))
     return TruthEntry(pair[0], "value_rel", pair[1])
+
+
+def truth_access(param: str, operation: str) -> TruthEntry:
+    return TruthEntry(param, "access_control", operation)
 
 
 def _normalize_type(type_obj) -> str:
@@ -79,6 +84,8 @@ def _comparable(constraint: Constraint) -> TruthEntry | None:
         return truth_ctrl_dep(constraint.param, constraint.dep_param)
     if isinstance(constraint, ValueRelConstraint):
         return truth_value_rel(constraint.param, constraint.other_param)
+    if isinstance(constraint, AccessControlConstraint):
+        return truth_access(constraint.param, constraint.operation)
     return None
 
 

@@ -25,6 +25,7 @@ class ConstraintKind(enum.Enum):
     DATA_RANGE = "data range"
     CONTROL_DEP = "control dependency"
     VALUE_REL = "value relationship"
+    ACCESS_CONTROL = "access control"
 
     def __str__(self) -> str:
         return self.value
@@ -201,6 +202,36 @@ class ValueRelConstraint(Constraint):
         )
 
 
+@dataclass(frozen=True)
+class AccessControlConstraint(Constraint):
+    """The program requires an access right on the object `param`
+    names: a path the configured identity must be able to read or
+    write, or a permission-mode value the program installs verbatim
+    (`chmod`).  Shen's survey calls these ACL/ownership constraints;
+    they are attributes of one parameter but their satisfaction
+    depends on the *environment* (file modes, owners), not the value's
+    shape alone.
+
+    ``operation`` is ``"read"``, ``"write"`` or ``"mode"``;
+    ``user_param`` names the parameter supplying the acting identity
+    when the program derives it from configuration (empty when the
+    program runs as its boot user).
+    """
+
+    operation: str = "read"
+    user_param: str = ""
+
+    @property
+    def kind(self) -> ConstraintKind:
+        return ConstraintKind.ACCESS_CONTROL
+
+    def describe(self) -> str:
+        if self.operation == "mode":
+            return f"{self.param}: permission mode installed via chmod"
+        actor = self.user_param if self.user_param else "the running user"
+        return f"{self.param}: must be {self.operation}able by {actor}"
+
+
 @dataclass
 class ConstraintSet:
     """All constraints inferred for one subject system."""
@@ -237,6 +268,13 @@ class ConstraintSet:
 
     def value_rels(self) -> list[ValueRelConstraint]:
         return [c for c in self.constraints if isinstance(c, ValueRelConstraint)]
+
+    def access_controls(self) -> list[AccessControlConstraint]:
+        return [
+            c
+            for c in self.constraints
+            if isinstance(c, AccessControlConstraint)
+        ]
 
     def count_by_kind(self) -> dict[ConstraintKind, int]:
         out: dict[ConstraintKind, int] = {}

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from repro.analysis import AnalysisResult, TaintEngine, TaintOptions
 from repro.core.annotations import Annotation, parse_annotations
 from repro.core.constraints import ConstraintSet
+from repro.core.infer_access import infer_access_controls
 from repro.core.infer_controldep import infer_control_deps
 from repro.core.infer_range import infer_enum_ranges, infer_numeric_ranges
 from repro.core.infer_types import (
@@ -43,6 +44,7 @@ class SpexOptions:
     enable_ranges: bool = True
     enable_control_deps: bool = True
     enable_value_rels: bool = True
+    enable_access_controls: bool = True
 
     def fingerprint(self) -> str:
         """Stable content hash of every inference knob.
@@ -73,6 +75,7 @@ class SpexReport:
 
     def constraint_counts(self) -> dict[str, int]:
         from repro.core.constraints import (
+            AccessControlConstraint,
             BasicTypeConstraint,
             ControlDepConstraint,
             EnumRangeConstraint,
@@ -81,7 +84,14 @@ class SpexReport:
             ValueRelConstraint,
         )
 
-        counts = {"basic": 0, "semantic": 0, "range": 0, "ctrl_dep": 0, "value_rel": 0}
+        counts = {
+            "basic": 0,
+            "semantic": 0,
+            "range": 0,
+            "ctrl_dep": 0,
+            "value_rel": 0,
+            "access_control": 0,
+        }
         for c in self.constraints:
             if isinstance(c, BasicTypeConstraint):
                 counts["basic"] += 1
@@ -93,6 +103,8 @@ class SpexReport:
                 counts["ctrl_dep"] += 1
             elif isinstance(c, ValueRelConstraint):
                 counts["value_rel"] += 1
+            elif isinstance(c, AccessControlConstraint):
+                counts["access_control"] += 1
         return counts
 
     def summary_dict(self) -> dict:
@@ -166,6 +178,8 @@ class SpexEngine:
             infer_value_relationships(
                 analysis, constraints, self.options.value_rel_transit_hops
             )
+        if self.options.enable_access_controls:
+            infer_access_controls(analysis, constraints, self.knowledge)
 
         parameters = {
             p for p in analysis.parameters if not p.startswith("__SPEX_")

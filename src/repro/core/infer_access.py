@@ -1,0 +1,95 @@
+"""Access-control constraint inference.
+
+Shen's survey (and Liu et al.'s 2024 re-study of real-world
+environment mistakes) puts ACL/ownership/permission errors alongside
+the paper's five constraint classes; this pass adds them.  Evidence is
+API contact, like semantic-type inference: a tainted path reaching an
+access-asserting call (``check_read_access``/``check_write_access``)
+becomes "this path must be readable/writable by the acting identity",
+and a tainted value reaching ``chmod``'s mode argument becomes "this
+parameter is installed verbatim as a permission mode".
+
+When the acting identity is itself configuration (the call's user
+argument carries a tainted parameter), the constraint records that
+``user_param`` so the checker can judge path and identity *together* -
+the pair is what real ACL mistakes break.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis import AnalysisResult
+from repro.analysis.events import CallArgEvent
+from repro.core.constraints import AccessControlConstraint, ConstraintSet
+from repro.core.events_util import canonical_events
+from repro.knowledge import ApiKnowledge
+from repro.lang.source import Location
+
+# chmod(path, mode): the *mode* argument is the constrained value.
+_MODE_ARG = 1
+_PATH_ARG = 0
+_USER_ARG = 1
+
+
+def infer_access_controls(
+    result: AnalysisResult,
+    constraints: ConstraintSet,
+    knowledge: ApiKnowledge,
+) -> None:
+    # Collect per call site so path and user arguments of one call can
+    # be paired: site -> arg_index -> tainted parameter names.
+    sites: dict[tuple, dict[int, set[str]]] = defaultdict(dict)
+    locations: dict[tuple, Location] = {}
+    ops: dict[tuple, str] = {}
+    for event in canonical_events(
+        result.events_of(CallArgEvent),
+        lambda e: (e.function, e.location, e.callee, e.arg_index),
+    ):
+        spec = knowledge.get(event.callee)
+        if spec is None or not spec.access_op:
+            continue
+        site = (event.function, _loc_key(event.location), event.callee)
+        sites[site].setdefault(event.arg_index, set()).update(
+            event.labels.names()
+        )
+        locations[site] = event.location
+        ops[site] = spec.access_op
+
+    # Dedup on constraint identity, first site (in location order) wins.
+    seen: set[tuple[str, str, str]] = set()
+    for site in sorted(sites, key=lambda s: (s[1], s[0], s[2])):
+        args = sites[site]
+        location = locations[site]
+        operation = ops[site]
+        if operation == "mode":
+            for param in sorted(args.get(_MODE_ARG, ())):
+                _add(constraints, seen, param, location, "mode", "")
+            continue
+        user_params = sorted(args.get(_USER_ARG, ()))
+        user_param = user_params[0] if user_params else ""
+        for param in sorted(args.get(_PATH_ARG, ())):
+            _add(constraints, seen, param, location, operation, user_param)
+
+
+def _add(
+    constraints: ConstraintSet,
+    seen: set[tuple[str, str, str]],
+    param: str,
+    location: Location,
+    operation: str,
+    user_param: str,
+) -> None:
+    identity = (param, operation, user_param)
+    if identity in seen:
+        return
+    seen.add(identity)
+    constraints.add(
+        AccessControlConstraint(
+            param, location, operation=operation, user_param=user_param
+        )
+    )
+
+
+def _loc_key(loc: Location) -> tuple:
+    return (loc.filename, loc.line, loc.column)

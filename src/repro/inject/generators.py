@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.constraints import (
+    AccessControlConstraint,
     BasicTypeConstraint,
     Constraint,
     ControlDepConstraint,
@@ -538,6 +539,55 @@ class ValueRelViolationPlugin(GeneratorPlugin):
         return 10
 
 
+class AccessControlViolationPlugin(GeneratorPlugin):
+    """ACL mistakes: point a path the program must read or write at
+    the standard root-only fixture (`/data/restricted_dir` from
+    `SubjectSystem.make_os`), and hand `chmod`-installed mode
+    parameters values no permission grammar accepts.  When the acting
+    identity is configuration too, the identity parameter is set to an
+    unprivileged user in the same injection - the paired mistake real
+    ACL breakage consists of."""
+
+    rule_name = "access-control"
+
+    RESTRICTED_PATH = "/data/restricted_dir"
+    UNPRIVILEGED_USER = "nobody"
+
+    def applies_to(self, constraint):
+        return isinstance(constraint, AccessControlConstraint)
+
+    def generate(self, constraint, template):
+        param = constraint.param
+        if constraint.operation == "mode":
+            return [
+                self._make(
+                    constraint,
+                    f"non-octal permission mode for {param}",
+                    (param, "899"),
+                ),
+                self._make(
+                    constraint,
+                    f"non-numeric permission mode for {param}",
+                    (param, "rwxr"),
+                ),
+            ]
+        settings = [(param, self.RESTRICTED_PATH)]
+        actor = "the running user"
+        if constraint.user_param:
+            settings.append(
+                (constraint.user_param, self.UNPRIVILEGED_USER)
+            )
+            actor = f"{constraint.user_param}={self.UNPRIVILEGED_USER}"
+        return [
+            self._make(
+                constraint,
+                f"{param} points at a path {actor} cannot "
+                f"{constraint.operation}",
+                *settings,
+            )
+        ]
+
+
 @dataclass
 class GeneratorRegistry:
     """The plug-in set; extensible per system (custom data types)."""
@@ -594,6 +644,7 @@ def default_generators() -> GeneratorRegistry:
     registry.add(RangeViolationPlugin())
     registry.add(ControlDepViolationPlugin())
     registry.add(ValueRelViolationPlugin())
+    registry.add(AccessControlViolationPlugin())
     return registry
 
 

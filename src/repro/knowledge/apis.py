@@ -40,6 +40,9 @@ class ApiSpec:
     # Arguments from this index on are out-parameters receiving the
     # (converted) input: sscanf's targets, strtol's end pointer.
     out_args_from: int = -1
+    # The access right this call asserts on its path argument ("read"
+    # / "write" / "mode"): drives access-control constraint inference.
+    access_op: str = ""
 
     def arg_fact(self, index: int) -> ArgFact | None:
         for fact in self.args:
@@ -96,6 +99,17 @@ def _std_specs() -> list[ApiSpec]:
         ApiSpec(
             "chmod",
             args=[ArgFact(0, SemanticType.PATH), ArgFact(1, SemanticType.PERMISSION)],
+            access_op="mode",
+        ),
+        ApiSpec(
+            "check_read_access",
+            args=[ArgFact(0, SemanticType.PATH), ArgFact(1, SemanticType.USER)],
+            access_op="read",
+        ),
+        ApiSpec(
+            "check_write_access",
+            args=[ArgFact(0, SemanticType.PATH), ArgFact(1, SemanticType.USER)],
+            access_op="write",
         ),
         ApiSpec(
             "chown_user",

@@ -148,7 +148,13 @@ def render_validation_report(report: ValidationReport) -> str:
     for diagnostic in report.diagnostics:
         lines.append(diagnostic.describe())
     errors, warnings = len(report.errors()), len(report.warnings())
-    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    by_kind = ", ".join(
+        f"{kind}: {count}"
+        for kind, count in sorted(report.by_kind().items())
+    )
+    lines.append(
+        f"{errors} error(s), {warnings} warning(s) ({by_kind})"
+    )
     return "\n".join(lines)
 
 

@@ -809,6 +809,36 @@ def _chown_user(interp, args, loc):
     return 0
 
 
+@register("check_read_access")
+def _check_read_access(interp, args, loc):
+    """0 when `user` may read `path` under the emulated ACL model,
+    -1 otherwise (missing path included).  Unlike the mode-flag
+    `access` builtin this consults owner + permission bits, so subject
+    systems can express per-identity requirements."""
+    path = _as_str(args[0], loc, "check_read_access path")
+    user = _as_str(args[1], loc, "check_read_access user")
+    if not interp.os.exists(path):
+        interp.errno = ENOENT
+        return -1
+    if not interp.os.can_read(path, user):
+        interp.errno = EACCES
+        return -1
+    return 0
+
+
+@register("check_write_access")
+def _check_write_access(interp, args, loc):
+    path = _as_str(args[0], loc, "check_write_access path")
+    user = _as_str(args[1], loc, "check_write_access user")
+    if not interp.os.exists(path):
+        interp.errno = ENOENT
+        return -1
+    if not interp.os.can_write(path, user):
+        interp.errno = EACCES
+        return -1
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Sockets / network
 # ---------------------------------------------------------------------------

@@ -100,6 +100,36 @@ class EmulatedOS:
     def lookup(self, path: str) -> FileNode | None:
         return self.files.get(path)
 
+    # -- access control -------------------------------------------------
+
+    def can_read(self, path: str, user: str) -> bool:
+        node = self.files.get(path)
+        if node is None:
+            return False
+        return node_allows(node.mode, node.owner, node.writable, user, False)
+
+    def can_write(self, path: str, user: str) -> bool:
+        node = self.files.get(path)
+        if node is None:
+            return False
+        return node_allows(node.mode, node.owner, node.writable, user, True)
+
+    def chmod(self, path: str, mode: int) -> int:
+        node = self.files.get(path)
+        if node is None:
+            return -2  # ENOENT
+        node.mode = mode & 0o7777
+        return 0
+
+    def chown(self, path: str, owner: str) -> int:
+        node = self.files.get(path)
+        if node is None:
+            return -2  # ENOENT
+        if owner not in self.users:
+            return -1
+        node.owner = owner
+        return 0
+
     def exists(self, path: str) -> bool:
         return path in self.files
 
@@ -182,6 +212,29 @@ class EmulatedOS:
         part of it) - `copy.deepcopy` composes either way.
         """
         return copy.deepcopy(self)
+
+
+def node_allows(
+    mode: int, owner: str, writable: bool, user: str, write: bool
+) -> bool:
+    """The single owner/other permission-bit rule, shared with the
+    config checker's `EnvView` so the runtime and the static checker
+    judge ACLs identically and cannot drift.
+
+    Simplified POSIX: root bypasses mode bits; the owner is judged by
+    the user bits, everyone else by the other bits (the emulated OS
+    has no supplementary-group table).  The legacy `writable` flag
+    stays an independent veto on writes - existing fixtures built on
+    it keep their behaviour.
+    """
+    if write and not writable:
+        return False
+    if user == "root":
+        return True
+    bit = 0o200 if write else 0o400
+    if user != owner:
+        bit >>= 6  # the "other" bit column
+    return bool(mode & bit)
 
 
 def valid_ipv4(text: str) -> bool:

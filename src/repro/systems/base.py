@@ -141,6 +141,13 @@ class SubjectSystem:
             self._program = Program.from_sources(self.sources, name=self.name)
         return self._program
 
+    def invalidate_memos(self) -> None:
+        """Drop derived state (the parsed program) so the next
+        `program()` call re-reads `sources`.  The registry calls this
+        from `clear_instance_cache()` so instances that escaped into
+        caller hands before the clear cannot serve stale parses."""
+        self._program = None
+
     def template_ar(self) -> ConfigAR:
         return ConfigAR.parse(self.default_config, self.dialect)
 
@@ -154,6 +161,11 @@ class SubjectSystem:
         # directory is expected, and one occupied port.
         os_model.add_dir("/data/injected_dir")
         os_model.add_file("/data/injected_file", "not a directory\n")
+        # A root-only directory: the guaranteed-denied target for
+        # access-control mistake injection (non-root identities can
+        # neither read nor write it).
+        restricted = os_model.add_dir("/data/restricted_dir")
+        restricted.mode = 0o700
         os_model.occupy_port(3130)
         if self.setup_os is not None:
             self.setup_os(os_model)

@@ -1,4 +1,5 @@
-"""Registry of the seven evaluated subject systems.
+"""Registry of the subject systems (the paper's seven plus later
+additions such as the declarative-built nginx miniature).
 
 Builders register themselves on import; instances are memoized.  The
 bulk API (`iter_systems`, `load_all`) is what the campaign pipeline
@@ -29,6 +30,7 @@ def _ensure_loaded() -> None:
     from repro.systems import (  # noqa: F401
         apache,
         mysql,
+        nginx,
         openldap,
         postgresql,
         squid,
@@ -81,5 +83,15 @@ def all_systems() -> list[SubjectSystem]:
 
 def clear_instance_cache() -> None:
     """Drop memoized instances (builders stay registered).  Tests use
-    this to get pristine `SubjectSystem` objects."""
+    this to get pristine `SubjectSystem` objects.
+
+    Contract: the clear also invalidates the derived-state memos
+    (`SubjectSystem.program()`) on every instance handed out so far.
+    Callers holding a reference across a clear keep a *usable* object
+    - its next `program()` call re-parses current `sources` - rather
+    than a stale parse from before whatever mutation motivated the
+    clear.  `template_ar()` is unmemoized by design and needs no
+    invalidation."""
+    for system in _CACHE.values():
+        system.invalidate_memos()
     _CACHE.clear()

@@ -1,0 +1,195 @@
+"""Declarative system definitions: `SystemSpec` compiles to
+`SubjectSystem`.
+
+The hand-rolled modules under `repro.systems` repeat the same shape
+per parameter - a decoder entry here, an effective-location entry
+there, a manual excerpt in one dict and three ground-truth entries in
+a helper - and keeping the four in sync is exactly the kind of
+boilerplate that makes system #8+ expensive.  A `SystemSpec` states
+each parameter *once* as a `ParamSpec` row (decoder slug, mapped
+variable, manual excerpt, truth entries) plus system-wide data
+(sources, dialect, tests, OS fixtures), and `build()` compiles the
+lot into the existing `SubjectSystem` - byte-identical to what the
+imperative builders produced, which the migration-parity tests
+enforce.
+
+Nothing downstream changes: registries, campaigns, checkers and the
+serve tier keep consuming `SubjectSystem`.  The spec is a *front end*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.accuracy import TruthEntry
+from repro.inject.ar import ConfigDialect
+from repro.knowledge.apis import ApiSpec
+from repro.runtime.os_model import EmulatedOS
+from repro.systems.base import (
+    FunctionalTest,
+    SubjectSystem,
+    decode_bool,
+    decode_int,
+    decode_size,
+    decode_string,
+    decode_time_seconds,
+)
+
+# Decoder slugs: declarative data instead of function references, so a
+# spec row is serialisable and the lint tool can reason about it.
+DECODERS: dict[str, Callable[[str], object]] = {
+    "bool": decode_bool,
+    "int": decode_int,
+    "size": decode_size,
+    "string": decode_string,
+    "time": decode_time_seconds,
+}
+
+# `ParamSpec.var` sentinel: "same name as the parameter".  Distinct
+# from None, which declares *no* effective location (the harness then
+# skips silent-violation comparison for that parameter - some systems
+# deliberately leave a parameter unmapped).
+SAME_AS_NAME = ""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One configuration parameter, declared once.
+
+    * ``decode`` - slug into `DECODERS`: how a *user* reads the value.
+    * ``var`` / ``field_path`` - where the effective value lives after
+      parsing (`SAME_AS_NAME` maps the parameter to the variable of
+      the same name; None opts out of effective-value tracking).
+    * ``manual`` - the documentation excerpt, or None for parameters
+      that are undocumented by design (they feed the undocumented-
+      constraint analysis).
+    * ``truth`` - this parameter's ground-truth entries for Table 12
+      accuracy scoring.  Truth is independent of the decoder: a
+      boolean parameter may decode via ``bool`` while its truth entry
+      says the stored representation is an int.
+    """
+
+    name: str
+    decode: str = "string"
+    var: str | None = SAME_AS_NAME
+    field_path: tuple[str, ...] = ()
+    manual: str | None = None
+    truth: tuple[TruthEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class OsDir:
+    """A directory the system expects in its emulated world."""
+
+    path: str
+    mode: int = 0o755
+    owner: str = "root"
+
+
+@dataclass(frozen=True)
+class OsFile:
+    """A file the system expects in its emulated world."""
+
+    path: str
+    content: str = ""
+    mode: int = 0o644
+    owner: str = "root"
+
+
+@dataclass
+class SystemSpec:
+    """The declarative description `build()` compiles."""
+
+    name: str
+    display_name: str
+    description: str
+    sources: dict[str, str]
+    annotations: str
+    dialect: ConfigDialect
+    config_path: str
+    default_config: str
+    params: list[ParamSpec] = field(default_factory=list)
+    tests: list[FunctionalTest] = field(default_factory=list)
+    # Cross-parameter truth (control deps, value relationships) that
+    # belongs to no single `ParamSpec` row.
+    extra_truth: list[TruthEntry] = field(default_factory=list)
+    os_dirs: list[OsDir] = field(default_factory=list)
+    os_files: list[OsFile] = field(default_factory=list)
+    # Optional per-system mistake-mix override for the fleet corpus
+    # (registered via `repro.checker.corpus.register_mistake_mix` at
+    # build time); None keeps the study-derived marginals.
+    mistake_mix: dict[str, float] | None = None
+    custom_knowledge: list[ApiSpec] = field(default_factory=list)
+    proprietary: bool = False
+    confidential_counts: bool = False
+
+    def build(self) -> SubjectSystem:
+        """Compile to the runtime descriptor every tool consumes."""
+        decoders: dict[str, Callable[[str], object]] = {}
+        effective: dict[str, tuple[str, tuple[str, ...]]] = {}
+        manual: dict[str, str] = {}
+        truth: list[TruthEntry] = []
+        seen: set[str] = set()
+        for param in self.params:
+            if param.name in seen:
+                raise ValueError(
+                    f"{self.name}: duplicate ParamSpec {param.name!r}"
+                )
+            seen.add(param.name)
+            if param.decode not in DECODERS:
+                raise ValueError(
+                    f"{self.name}: {param.name!r} names unknown decoder "
+                    f"{param.decode!r}; known: {', '.join(sorted(DECODERS))}"
+                )
+            decoders[param.name] = DECODERS[param.decode]
+            if param.var is not None:
+                var = param.var if param.var else param.name
+                effective[param.name] = (var, tuple(param.field_path))
+            if param.manual is not None:
+                manual[param.name] = param.manual
+            truth.extend(param.truth)
+        truth.extend(self.extra_truth)
+
+        setup_os = None
+        if self.os_dirs or self.os_files:
+            dirs = tuple(self.os_dirs)
+            files = tuple(self.os_files)
+
+            def setup_os(os_model: EmulatedOS) -> None:
+                for entry in dirs:
+                    node = os_model.add_dir(entry.path)
+                    node.mode = entry.mode
+                    node.owner = entry.owner
+                for entry in files:
+                    os_model.add_file(
+                        entry.path,
+                        entry.content,
+                        mode=entry.mode,
+                        owner=entry.owner,
+                    )
+
+        if self.mistake_mix is not None:
+            from repro.checker.corpus import register_mistake_mix
+
+            register_mistake_mix(self.name, dict(self.mistake_mix))
+
+        return SubjectSystem(
+            name=self.name,
+            display_name=self.display_name,
+            description=self.description,
+            sources=dict(self.sources),
+            annotations=self.annotations,
+            dialect=self.dialect,
+            config_path=self.config_path,
+            default_config=self.default_config,
+            tests=list(self.tests),
+            effective_locations=effective,
+            decoders=decoders,
+            manual=manual,
+            ground_truth=truth,
+            custom_knowledge=list(self.custom_knowledge),
+            setup_os=setup_os,
+            proprietary=self.proprietary,
+            confidential_counts=self.confidential_counts,
+        )

@@ -22,14 +22,9 @@ from repro.core.accuracy import (
     truth_semantic,
 )
 from repro.inject.ar import KeyValueDialect
-from repro.systems.base import (
-    FunctionalTest,
-    SubjectSystem,
-    decode_bool,
-    decode_int,
-    decode_string,
-)
+from repro.systems.base import FunctionalTest, SubjectSystem
 from repro.systems.registry import register
+from repro.systems.spec import SAME_AS_NAME, ParamSpec, SystemSpec
 
 VSFTPD_MAIN = r"""
 // vsftpd-mini
@@ -482,50 +477,87 @@ def _tests() -> list[FunctionalTest]:
     ]
 
 
-def _ground_truth():
-    bools = [
-        "listen",
-        "listen_ipv6",
-        "anonymous_enable",
-        "anon_upload_enable",
-        "anon_mkdir_write_enable",
-        "local_enable",
-        "write_enable",
-        "chroot_local_user",
-        "virtual_use_local_privs",
-        "one_process_mode",
-        "ssl_enable",
-        "ssl_tlsv1",
-        "require_ssl_reuse",
-        "delay_failed_login",
-    ]
-    ints = [
-        "listen_port",
-        "max_clients",
-        "max_per_ip",
-        "anon_max_rate",
-        "idle_session_timeout",
+def _bool_param(name: str) -> ParamSpec:
+    """Bool-table parameter: YES/NO surface, int-typed store, mapped
+    to the same-named variable (``listen`` aliases ``listen_ipv4``)."""
+    return ParamSpec(
+        name,
+        decode="bool",
+        var="listen_ipv4" if name == "listen" else SAME_AS_NAME,
+        manual=MANUAL.get(name),
+        truth=(truth_basic(name, "int"),),
+    )
+
+
+_BOOLS = [
+    "listen",
+    "listen_ipv6",
+    "anonymous_enable",
+    "anon_upload_enable",
+    "anon_mkdir_write_enable",
+    "local_enable",
+    "write_enable",
+    "chroot_local_user",
+    "virtual_use_local_privs",
+    "one_process_mode",
+    "ssl_enable",
+    "ssl_tlsv1",
+    "require_ssl_reuse",
+    "delay_failed_login",
+]
+
+# Int-table parameters and their extra truth beyond the basic type.
+_INTS: list[tuple[str, tuple]] = [
+    ("listen_port", (truth_semantic("listen_port", "PORT"),)),
+    ("max_clients", (truth_range("max_clients"),)),
+    ("max_per_ip", (truth_range("max_per_ip"),)),
+    ("anon_max_rate", ()),
+    ("idle_session_timeout", (truth_semantic("idle_session_timeout", "TIME"),)),
+    (
         "data_connection_timeout",
-        "accept_timeout",
-        "connect_timeout",
-        "trans_chunk_size",
+        (truth_semantic("data_connection_timeout", "TIME"),),
+    ),
+    ("accept_timeout", (truth_semantic("accept_timeout", "TIME"),)),
+    ("connect_timeout", (truth_semantic("connect_timeout", "TIME"),)),
+    ("trans_chunk_size", (truth_semantic("trans_chunk_size", "SIZE"),)),
+]
+
+_STRS: list[tuple[str, str]] = [
+    ("ftp_username", "USER"),
+    ("banner_file", "FILE"),
+    ("local_root", "DIRECTORY"),
+]
+
+SPEC = SystemSpec(
+    name="vsftpd",
+    display_name="VSFTP",
+    description="Miniature vsftpd with the paper's VSFTP traits",
+    sources={"vsftpd.c": VSFTPD_MAIN},
+    annotations=ANNOTATIONS,
+    dialect=KeyValueDialect("="),
+    config_path="/etc/vsftpd.conf",
+    default_config=DEFAULT_CONFIG,
+    params=[_bool_param(name) for name in _BOOLS]
+    + [
+        ParamSpec(
+            name,
+            decode="int",
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "int"),) + extra,
+        )
+        for name, extra in _INTS
     ]
-    strs = ["ftp_username", "banner_file", "local_root"]
-    truth = [truth_basic(p, "int") for p in bools + ints]
-    truth += [truth_basic(p, "string") for p in strs]
-    truth += [
-        truth_semantic("listen_port", "PORT"),
-        truth_semantic("accept_timeout", "TIME"),
-        truth_semantic("idle_session_timeout", "TIME"),
-        truth_semantic("data_connection_timeout", "TIME"),
-        truth_semantic("connect_timeout", "TIME"),
-        truth_semantic("trans_chunk_size", "SIZE"),
-        truth_semantic("ftp_username", "USER"),
-        truth_semantic("banner_file", "FILE"),
-        truth_semantic("local_root", "DIRECTORY"),
-    ]
-    truth += [truth_range("max_clients"), truth_range("max_per_ip")]
-    truth += [
+    + [
+        ParamSpec(
+            name,
+            decode="string",
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "string"), truth_semantic(name, sem)),
+        )
+        for name, sem in _STRS
+    ],
+    tests=_tests(),
+    extra_truth=[
         truth_ctrl_dep("ssl_tlsv1", "ssl_enable"),
         truth_ctrl_dep("require_ssl_reuse", "ssl_tlsv1"),
         truth_ctrl_dep("chroot_local_user", "local_enable"),
@@ -535,89 +567,10 @@ def _ground_truth():
         truth_ctrl_dep("local_root", "chroot_local_user"),
         truth_ctrl_dep("anon_upload_enable", "write_enable"),
         truth_ctrl_dep("trans_chunk_size", "anon_max_rate"),
-    ]
-    return truth
+    ],
+)
 
 
 @register("vsftpd")
 def build() -> SubjectSystem:
-    bools = [
-        "listen",
-        "listen_ipv6",
-        "anonymous_enable",
-        "anon_upload_enable",
-        "anon_mkdir_write_enable",
-        "local_enable",
-        "write_enable",
-        "chroot_local_user",
-        "virtual_use_local_privs",
-        "one_process_mode",
-        "ssl_enable",
-        "ssl_tlsv1",
-        "require_ssl_reuse",
-        "delay_failed_login",
-    ]
-    ints = [
-        "listen_port",
-        "max_clients",
-        "max_per_ip",
-        "anon_max_rate",
-        "idle_session_timeout",
-        "data_connection_timeout",
-        "accept_timeout",
-        "connect_timeout",
-        "trans_chunk_size",
-    ]
-    decoders = {p: decode_bool for p in bools}
-    decoders.update({p: decode_int for p in ints})
-    decoders.update(
-        {
-            "ftp_username": decode_string,
-            "banner_file": decode_string,
-            "local_root": decode_string,
-        }
-    )
-    var_names = {
-        "listen": "listen_ipv4",
-        "listen_ipv6": "listen_ipv6",
-        "anonymous_enable": "anonymous_enable",
-        "anon_upload_enable": "anon_upload_enable",
-        "anon_mkdir_write_enable": "anon_mkdir_write_enable",
-        "local_enable": "local_enable",
-        "write_enable": "write_enable",
-        "chroot_local_user": "chroot_local_user",
-        "virtual_use_local_privs": "virtual_use_local_privs",
-        "one_process_mode": "one_process_mode",
-        "ssl_enable": "ssl_enable",
-        "ssl_tlsv1": "ssl_tlsv1",
-        "require_ssl_reuse": "require_ssl_reuse",
-        "delay_failed_login": "delay_failed_login",
-        "listen_port": "listen_port",
-        "max_clients": "max_clients",
-        "max_per_ip": "max_per_ip",
-        "anon_max_rate": "anon_max_rate",
-        "idle_session_timeout": "idle_session_timeout",
-        "data_connection_timeout": "data_connection_timeout",
-        "accept_timeout": "accept_timeout",
-        "connect_timeout": "connect_timeout",
-        "trans_chunk_size": "trans_chunk_size",
-        "ftp_username": "ftp_username",
-        "banner_file": "banner_file",
-        "local_root": "local_root",
-    }
-    effective = {param: (var, ()) for param, var in var_names.items()}
-    return SubjectSystem(
-        name="vsftpd",
-        display_name="VSFTP",
-        description="Miniature vsftpd with the paper's VSFTP traits",
-        sources={"vsftpd.c": VSFTPD_MAIN},
-        annotations=ANNOTATIONS,
-        dialect=KeyValueDialect("="),
-        config_path="/etc/vsftpd.conf",
-        default_config=DEFAULT_CONFIG,
-        tests=_tests(),
-        effective_locations=effective,
-        decoders=decoders,
-        manual=MANUAL,
-        ground_truth=_ground_truth(),
-    )
+    return SPEC.build()

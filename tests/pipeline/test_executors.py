@@ -66,14 +66,15 @@ class TestRegistryBulkApi:
     def test_load_all(self):
         systems = load_all()
         assert set(systems) == {
-            "apache", "mysql", "openldap", "postgresql",
+            "apache", "mysql", "nginx", "openldap", "postgresql",
             "squid", "storage_a", "vsftpd",
         }
         assert all(name == s.name for name, s in systems.items())
 
     def test_is_registered(self):
         assert is_registered("squid")
-        assert not is_registered("nginx")
+        assert is_registered("nginx")
+        assert not is_registered("lighttpd")
 
     def test_clear_instance_cache(self):
         before = get_system("apache")
@@ -81,6 +82,24 @@ class TestRegistryBulkApi:
         after = get_system("apache")
         assert after is not before
         assert after.name == before.name
+
+    def test_clear_invalidates_memos_on_held_instances(self):
+        # Regression: clear_instance_cache() used to drop only the
+        # registry's name->instance map, leaving the program() memo
+        # alive on instances callers already held - a later sources
+        # mutation (the reason one clears) kept serving the stale
+        # parse.  The contract now is that the clear also invalidates
+        # derived memos on every instance handed out so far.
+        held = load_all()["vsftpd"]
+        stale = held.program()
+        assert held.program() is stale  # memoized while cached
+        clear_instance_cache()
+        fresh = held.program()
+        assert fresh is not stale  # re-parsed, not served from memo
+        # The held object stays fully usable: the re-parse reflects
+        # its (unchanged) sources, so derived facts agree.
+        assert fresh.count_code_lines() == stale.count_code_lines()
+        assert load_all()["vsftpd"] is not held
 
 
 class TestPipelineParity:

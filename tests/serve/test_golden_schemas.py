@@ -151,6 +151,33 @@ class TestCliGoldenSchemas:
         )
         assert_matches_golden("check", payload)
 
+    def test_check_access_control_json_schema(self, capsys, tmp_path):
+        """Access-control diagnostics ride the same check surface: a
+        directory the run-as identity cannot read (blameless message
+        naming both candidate fixes) and a non-octal permission mode."""
+        from repro.systems import get_system
+
+        bad = (
+            get_system("nginx")
+            .default_config.replace(
+                "root /data/nginx/static", "root /data/restricted_dir"
+            )
+            .replace("upload_store_mode 0755", "upload_store_mode 899")
+        )
+        path = tmp_path / "nginx.conf"
+        path.write_text(bad)
+        payload = self._json_out(
+            capsys, ["check", "nginx", str(path), "--json"], expect_code=1
+        )
+        assert {d["kind"] for d in payload["diagnostics"]} == {
+            "access_control"
+        }
+        assert {d["code"] for d in payload["diagnostics"]} == {
+            "read-access-denied",
+            "invalid-permission",
+        }
+        assert_matches_golden("check_access_control", payload)
+
     def test_pipeline_json_schema(self, capsys):
         payload = self._json_out(
             capsys,
@@ -198,7 +225,15 @@ class TestCliGoldenSchemas:
 
 class TestGoldenFilesAreCheckedIn:
     @pytest.mark.parametrize(
-        "name", ["check", "pipeline", "fleet", "serve_status", "submit"]
+        "name",
+        [
+            "check",
+            "check_access_control",
+            "pipeline",
+            "fleet",
+            "serve_status",
+            "submit",
+        ],
     )
     def test_golden_exists_and_is_canonical_json(self, name):
         path = GOLDEN_DIR / f"{name}.json"

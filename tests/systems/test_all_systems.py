@@ -9,9 +9,11 @@ from repro.systems import all_systems, system_names
 
 class TestRegistry:
     def test_seven_systems_registered(self):
+        # The paper's seven plus the declarative-built nginx (#8).
         assert system_names() == [
             "apache",
             "mysql",
+            "nginx",
             "openldap",
             "postgresql",
             "squid",
@@ -37,7 +39,8 @@ class TestRegistry:
 
 class TestBaselines:
     @pytest.mark.parametrize("name", [
-        "apache", "mysql", "openldap", "postgresql", "squid", "storage_a", "vsftpd",
+        "apache", "mysql", "nginx", "openldap", "postgresql", "squid",
+        "storage_a", "vsftpd",
     ])
     def test_baseline_passes(self, name, evaluation):
         from repro.inject.harness import InjectionHarness

@@ -1,0 +1,363 @@
+"""Migration parity: the declarative `SystemSpec` builds of vsftpd,
+openldap and apache are byte-identical to the imperative builders they
+replaced.
+
+The legacy builders below are the pre-migration `build()` bodies,
+frozen here as the reference.  Parity is checked at every level the
+pipeline consumes: rendered template, decoder/effective/manual/truth
+tables, the inference-cache fingerprint, the full constraint report
+and the complete campaign verdict set.
+"""
+
+import pytest
+
+from repro.core.accuracy import (
+    truth_basic,
+    truth_ctrl_dep,
+    truth_range,
+    truth_semantic,
+    truth_value_rel,
+)
+from repro.core.engine import SpexOptions
+from repro.inject.ar import DirectiveDialect, KeyValueDialect
+from repro.inject.campaign import Campaign
+from repro.pipeline.cache import spex_fingerprint
+from repro.systems import apache, get_system, openldap, vsftpd
+from repro.systems.base import (
+    SubjectSystem,
+    decode_bool,
+    decode_int,
+    decode_size,
+    decode_string,
+)
+
+
+def _legacy_vsftpd() -> SubjectSystem:
+    bools = [
+        "listen",
+        "listen_ipv6",
+        "anonymous_enable",
+        "anon_upload_enable",
+        "anon_mkdir_write_enable",
+        "local_enable",
+        "write_enable",
+        "chroot_local_user",
+        "virtual_use_local_privs",
+        "one_process_mode",
+        "ssl_enable",
+        "ssl_tlsv1",
+        "require_ssl_reuse",
+        "delay_failed_login",
+    ]
+    ints = [
+        "listen_port",
+        "max_clients",
+        "max_per_ip",
+        "anon_max_rate",
+        "idle_session_timeout",
+        "data_connection_timeout",
+        "accept_timeout",
+        "connect_timeout",
+        "trans_chunk_size",
+    ]
+    strs = ["ftp_username", "banner_file", "local_root"]
+    decoders = {p: decode_bool for p in bools}
+    decoders.update({p: decode_int for p in ints})
+    decoders.update({p: decode_string for p in strs})
+    effective = {p: (p, ()) for p in bools + ints + strs}
+    effective["listen"] = ("listen_ipv4", ())
+    truth = [truth_basic(p, "int") for p in bools + ints]
+    truth += [truth_basic(p, "string") for p in strs]
+    truth += [
+        truth_semantic("listen_port", "PORT"),
+        truth_semantic("accept_timeout", "TIME"),
+        truth_semantic("idle_session_timeout", "TIME"),
+        truth_semantic("data_connection_timeout", "TIME"),
+        truth_semantic("connect_timeout", "TIME"),
+        truth_semantic("trans_chunk_size", "SIZE"),
+        truth_semantic("ftp_username", "USER"),
+        truth_semantic("banner_file", "FILE"),
+        truth_semantic("local_root", "DIRECTORY"),
+        truth_range("max_clients"),
+        truth_range("max_per_ip"),
+        truth_ctrl_dep("ssl_tlsv1", "ssl_enable"),
+        truth_ctrl_dep("require_ssl_reuse", "ssl_tlsv1"),
+        truth_ctrl_dep("chroot_local_user", "local_enable"),
+        truth_ctrl_dep("require_ssl_reuse", "ssl_enable"),
+        truth_ctrl_dep("virtual_use_local_privs", "one_process_mode"),
+        truth_ctrl_dep("virtual_use_local_privs", "local_enable"),
+        truth_ctrl_dep("local_root", "chroot_local_user"),
+        truth_ctrl_dep("anon_upload_enable", "write_enable"),
+        truth_ctrl_dep("trans_chunk_size", "anon_max_rate"),
+    ]
+    return SubjectSystem(
+        name="vsftpd",
+        display_name="VSFTP",
+        description="Miniature vsftpd with the paper's VSFTP traits",
+        sources={"vsftpd.c": vsftpd.VSFTPD_MAIN},
+        annotations=vsftpd.ANNOTATIONS,
+        dialect=KeyValueDialect("="),
+        config_path="/etc/vsftpd.conf",
+        default_config=vsftpd.DEFAULT_CONFIG,
+        tests=vsftpd._tests(),
+        effective_locations=effective,
+        decoders=decoders,
+        manual=vsftpd.MANUAL,
+        ground_truth=truth,
+    )
+
+
+def _legacy_openldap() -> SubjectSystem:
+    decoders = {
+        "listener-threads": decode_int,
+        "threads": decode_int,
+        "index_intlen": decode_int,
+        "sockbuf_max_incoming": decode_size,
+        "entry_cache_bytes": decode_size,
+        "cachesize": decode_int,
+        "cachefree": decode_int,
+        "sizelimit": decode_int,
+        "idletimeout": decode_int,
+        "writetimeout": decode_int,
+        "checkpoint": decode_int,
+        "readonly": decode_string,
+        "require_tls": decode_string,
+    }
+    effective = {
+        "listener-threads": ("listener_threads", ()),
+        "threads": ("worker_threads", ()),
+        "index_intlen": ("index_intlen", ()),
+        "sockbuf_max_incoming": ("sockbuf_max_incoming", ()),
+        "entry_cache_bytes": ("entry_cache_bytes", ()),
+        "cachesize": ("cachesize", ()),
+        "cachefree": ("cachefree", ()),
+        "sizelimit": ("sizelimit", ()),
+        "idletimeout": ("idletimeout", ()),
+        "writetimeout": ("writetimeout", ()),
+        "checkpoint": ("checkpoint_interval", ()),
+        "pidfile": ("pidfile_path", ()),
+        "argsfile": ("argsfile_path", ()),
+        "directory": ("db_directory", ()),
+    }
+    ints_32 = [
+        "listener-threads",
+        "threads",
+        "index_intlen",
+        "sockbuf_max_incoming",
+        "entry_cache_bytes",
+        "cachesize",
+        "cachefree",
+        "sizelimit",
+        "idletimeout",
+        "writetimeout",
+        "checkpoint",
+    ]
+    truth = [truth_basic(p, "int") for p in ints_32]
+    truth += [
+        truth_basic("readonly", "string"),
+        truth_basic("require_tls", "string"),
+        truth_basic("pidfile", "string"),
+        truth_basic("argsfile", "string"),
+        truth_basic("directory", "string"),
+        truth_semantic("pidfile", "FILE"),
+        truth_semantic("argsfile", "FILE"),
+        truth_semantic("directory", "DIRECTORY"),
+        truth_semantic("sockbuf_max_incoming", "SIZE"),
+        truth_semantic("entry_cache_bytes", "SIZE"),
+        truth_semantic("idletimeout", "TIME"),
+        truth_semantic("writetimeout", "TIME"),
+        truth_semantic("checkpoint", "TIME"),
+        truth_range("index_intlen"),
+        truth_range("sockbuf_max_incoming"),
+        truth_range("threads"),
+        truth_range("readonly"),
+        truth_range("require_tls"),
+        truth_range("sizelimit"),
+        truth_value_rel("cachefree", "cachesize"),
+    ]
+
+    def setup_os(os_model):
+        os_model.add_dir("/data/ldap")
+
+    return SubjectSystem(
+        name="openldap",
+        display_name="OpenLDAP",
+        description="Miniature slapd with the paper's OpenLDAP traits",
+        sources={"slapd.c": openldap.SLAPD_MAIN},
+        annotations=openldap.ANNOTATIONS,
+        dialect=DirectiveDialect(),
+        config_path="/etc/openldap/slapd.conf",
+        default_config=openldap.DEFAULT_CONFIG,
+        tests=openldap._tests(),
+        effective_locations=effective,
+        decoders=decoders,
+        manual=openldap.MANUAL,
+        ground_truth=truth,
+        setup_os=setup_os,
+    )
+
+
+def _legacy_apache() -> SubjectSystem:
+    decoders = {
+        "Listen": decode_int,
+        "ThreadLimit": decode_int,
+        "ThreadsPerChild": decode_int,
+        "ServerLimit": decode_int,
+        "MaxKeepAliveRequests": decode_int,
+        "KeepAlive": decode_bool,
+        "KeepAliveTimeout": decode_int,
+        "TimeOut": decode_int,
+        "SendBufferSize": decode_size,
+        "MaxMemFree": decode_int,
+    }
+    effective = {
+        "Listen": ("listen_port", ()),
+        "ThreadLimit": ("thread_limit", ()),
+        "ThreadsPerChild": ("threads_per_child", ()),
+        "ServerLimit": ("server_limit", ()),
+        "MaxKeepAliveRequests": ("max_keepalive_requests", ()),
+        "KeepAlive": ("keep_alive", ()),
+        "KeepAliveTimeout": ("keep_alive_timeout", ()),
+        "TimeOut": ("request_timeout", ()),
+        "SendBufferSize": ("send_buffer_size", ()),
+        "HostnameLookups": ("hostname_lookups", ()),
+        "DocumentRoot": ("document_root", ()),
+        "ServerName": ("server_name", ()),
+        "User": ("run_user", ()),
+        "PidFile": ("pid_file_path", ()),
+        "AcceptFilter": ("accept_filter_mode", ()),
+    }
+    ints = [
+        "Listen",
+        "ThreadLimit",
+        "ThreadsPerChild",
+        "ServerLimit",
+        "MaxKeepAliveRequests",
+        "KeepAliveTimeout",
+        "TimeOut",
+        "SendBufferSize",
+        "MaxMemFree",
+    ]
+    strs = [
+        "KeepAlive",
+        "HostnameLookups",
+        "LogLevel",
+        "DocumentRoot",
+        "ServerName",
+        "User",
+        "PidFile",
+        "AcceptFilter",
+    ]
+    truth = [truth_basic(p, "int") for p in ints]
+    truth += [truth_basic(p, "string") for p in strs]
+    truth += [
+        truth_semantic("Listen", "PORT"),
+        truth_semantic("SendBufferSize", "SIZE"),
+        truth_semantic("MaxMemFree", "SIZE"),
+        truth_semantic("KeepAliveTimeout", "TIME"),
+        truth_semantic("DocumentRoot", "DIRECTORY"),
+        truth_semantic("ServerName", "HOSTNAME"),
+        truth_semantic("User", "USER"),
+        truth_range("KeepAlive"),
+        truth_range("HostnameLookups"),
+        truth_range("LogLevel"),
+        truth_range("AcceptFilter"),
+        truth_ctrl_dep("KeepAliveTimeout", "KeepAlive"),
+    ]
+
+    def setup_os(os_model):
+        os_model.add_dir("/data/www")
+
+    return SubjectSystem(
+        name="apache",
+        display_name="Apache httpd",
+        description="Miniature httpd with the paper's Apache traits",
+        sources={"httpd.c": apache.HTTPD_MAIN},
+        annotations=apache.ANNOTATIONS,
+        dialect=DirectiveDialect(),
+        config_path="/etc/httpd.conf",
+        default_config=apache.DEFAULT_CONFIG,
+        tests=apache._tests(),
+        effective_locations=effective,
+        decoders=decoders,
+        manual=apache.MANUAL,
+        ground_truth=truth,
+        setup_os=setup_os,
+    )
+
+
+_LEGACY = {
+    "vsftpd": _legacy_vsftpd,
+    "openldap": _legacy_openldap,
+    "apache": _legacy_apache,
+}
+
+MIGRATED = sorted(_LEGACY)
+
+
+@pytest.fixture(params=MIGRATED)
+def pair(request):
+    return _LEGACY[request.param](), get_system(request.param)
+
+
+class TestStaticParity:
+    def test_template_serialization(self, pair):
+        legacy, spec = pair
+        assert legacy.template_ar().serialize() == spec.template_ar().serialize()
+
+    def test_tables(self, pair):
+        legacy, spec = pair
+        assert legacy.effective_locations == spec.effective_locations
+        assert legacy.manual == spec.manual
+        # Legacy dicts leaned on the decode_string fallback for some
+        # parameters; the spec states every decoder explicitly.  The
+        # *resolved* decoder per template parameter is what must agree.
+        for param in legacy.template_ar().names():
+            assert legacy.decoder_for(param) is spec.decoder_for(param), param
+
+    def test_ground_truth(self, pair):
+        legacy, spec = pair
+        assert set(legacy.ground_truth) == set(spec.ground_truth)
+        assert len(legacy.ground_truth) == len(spec.ground_truth)
+
+    def test_inference_fingerprint(self, pair):
+        legacy, spec = pair
+        options = SpexOptions()
+        assert spex_fingerprint(
+            legacy.sources, legacy.annotations, options
+        ) == spex_fingerprint(spec.sources, spec.annotations, options)
+
+    def test_emulated_world(self, pair):
+        legacy, spec = pair
+        a, b = legacy.make_os(), spec.make_os()
+        assert {
+            p: (n.is_dir, n.mode, n.owner, n.content) for p, n in a.files.items()
+        } == {
+            p: (n.is_dir, n.mode, n.owner, n.content) for p, n in b.files.items()
+        }
+
+
+class TestBehaviouralParity:
+    def test_spex_report(self, pair):
+        legacy, spec = pair
+        legacy_report = Campaign(system=legacy).run_spex()
+        spec_report = Campaign(system=spec).run_spex()
+        assert legacy_report.summary_dict() == spec_report.summary_dict()
+
+    def test_campaign_verdicts(self, pair):
+        legacy, spec = pair
+
+        def signature(system):
+            report = Campaign(system=system).run()
+            return [
+                (
+                    v.misconfiguration.settings,
+                    v.misconfiguration.rule,
+                    v.reaction.category,
+                    v.reaction.pinpointed,
+                    v.failed_tests,
+                )
+                for v in report.verdicts
+            ]
+
+        assert signature(legacy) == signature(spec)
