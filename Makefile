@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # this.
 export PYTHONHASHSEED := 0
 
-.PHONY: test test-fast lint bench bench-json fleet-bench docs-check quickstart pipeline fleet serve all
+.PHONY: test test-fast lint bench bench-json fleet-bench obs-bench trace-demo docs-check quickstart pipeline fleet serve all
 
 all: test docs-check
 
@@ -43,6 +43,17 @@ bench-json:
 # speedup over serial, compiled-checker cache hit rate.
 fleet-bench:
 	$(PYTHON) -m pytest benchmarks/test_fleet_throughput.py -q -s
+
+# Telemetry overhead benchmark only: enabled-vs-disabled warm launch
+# throughput (<=5% budget) plus verdict/footer parity; regenerates
+# BENCH_obs.json.
+obs-bench:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -s
+
+# Run one traced campaign and print its NDJSON spans on stdout (span
+# taxonomy in docs/OBSERVABILITY.md).
+trace-demo:
+	$(PYTHON) examples/trace_demo.py
 
 # Fails if README code blocks drift from working imports.
 docs-check:

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Trace demo: run one injection campaign with spans enabled and emit
+the resulting NDJSON trace on stdout.
+
+Installs an `NdjsonSink`-backed tracer as the process tracer, runs a
+full vsftpd campaign, and restores the previous tracer.  Each line is
+one completed span (children before parents; keys sorted) — pipe it
+into `jq` or any NDJSON tool:
+
+    make trace-demo | head
+    make trace-demo | python -c "import json,sys; \
+        print(max(json.loads(l)['duration'] for l in sys.stdin))"
+
+The span taxonomy is documented in docs/OBSERVABILITY.md.
+
+Run:  python examples/trace_demo.py
+"""
+
+import os
+import sys
+
+from repro.inject import Campaign
+from repro.obs import NdjsonSink, Tracer, set_tracer
+from repro.systems import get_system
+
+SYSTEM = "vsftpd"
+
+
+def main() -> int:
+    previous = set_tracer(Tracer(sink=NdjsonSink(sys.stdout)))
+    try:
+        report = Campaign(get_system(SYSTEM)).run()
+    except BrokenPipeError:
+        # Downstream (`| head`) closed the pipe mid-trace; swap stdout
+        # for devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        set_tracer(previous)
+    print(
+        f"traced {SYSTEM} campaign: "
+        f"{report.misconfigurations_tested} misconfigurations tested, "
+        f"{report.total()} vulnerabilities",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from repro.checker.corpus import (
     pool_digest,
 )
 from repro.checker.validate import validate_config
+from repro.obs import get_registry, metrics_delta, span
 
 DEFAULT_CHUNK_SIZE = 256
 
@@ -218,51 +219,56 @@ def run_fleet(
     options = spex_options or SpexOptions()
     chosen = resolve_executor(executor, max_workers)
     chunk_size = max(1, chunk_size)
+    get_registry().inc("fleet.runs")
     started = time.perf_counter()
 
     contexts: dict[str, _SystemContext] = {}
     tasks: list[tuple[str, int, int]] = []  # (system, start, count)
-    for system in iter_systems(systems):
-        before = caches.checkers.stats.snapshot()
-        checker = checker_for_system(system, options, caches=caches)
-        from_cache = caches.checkers.stats.hits > before["hits"]
-        # peek, not get: compilation already populated this entry, and
-        # the footer's hit counters must reflect avoided inference
-        # runs, not this bookkeeping read.
-        spex_report = caches.inference.peek(
-            caches.inference.key_for(system, options)
-        )
-        if spex_report is None:  # pragma: no cover - cache contract
-            raise RuntimeError(
-                f"inference result for {system.name} missing after "
-                "checker compilation"
+    with span("fleet.compile"):
+        for system in iter_systems(systems):
+            before = caches.checkers.stats.snapshot()
+            checker = checker_for_system(system, options, caches=caches)
+            from_cache = caches.checkers.stats.hits > before["hits"]
+            # peek, not get: compilation already populated this entry,
+            # and the footer's hit counters must reflect avoided
+            # inference runs, not this bookkeeping read.
+            spex_report = caches.inference.peek(
+                caches.inference.key_for(system, options)
             )
-        pool = corpus_pool(spex_report, system)
-        contexts[system.name] = _SystemContext(
-            system=system,
-            checker=checker,
-            pool=pool,
-            digest=pool_digest(pool),
-            mix=mistake_mix(system.name),
-            template=system.template_ar(),
-            from_cache=from_cache,
-        )
-        for start in range(0, size, chunk_size):
-            tasks.append(
-                (system.name, start, min(chunk_size, size - start))
+            if spex_report is None:  # pragma: no cover - cache contract
+                raise RuntimeError(
+                    f"inference result for {system.name} missing after "
+                    "checker compilation"
+                )
+            pool = corpus_pool(spex_report, system)
+            contexts[system.name] = _SystemContext(
+                system=system,
+                checker=checker,
+                pool=pool,
+                digest=pool_digest(pool),
+                mix=mistake_mix(system.name),
+                template=system.template_ar(),
+                from_cache=from_cache,
             )
+            for start in range(0, size, chunk_size):
+                tasks.append(
+                    (system.name, start, min(chunk_size, size - start))
+                )
 
-    if isinstance(chosen, ProcessExecutor) and len(tasks) > 1:
-        chunk_results = _run_chunks_in_processes(
-            chosen, contexts, tasks, options, seed, mistake_rate, caches
-        )
-    else:
-        chunk_results = chosen.map(
-            lambda task: _validate_chunk_inline(
-                contexts[task[0]], task, seed, mistake_rate
-            ),
-            tasks,
-        )
+    with span(
+        "fleet.validate", executor=chosen.name, chunks=len(tasks)
+    ):
+        if isinstance(chosen, ProcessExecutor) and len(tasks) > 1:
+            chunk_results = _run_chunks_in_processes(
+                chosen, contexts, tasks, options, seed, mistake_rate, caches
+            )
+        else:
+            chunk_results = chosen.map(
+                lambda task: _validate_chunk_inline(
+                    contexts[task[0]], task, seed, mistake_rate
+                ),
+                tasks,
+            )
 
     # Fold chunk results back in submission order (determinism) while
     # streaming per-system tallies instead of keeping every outcome.
@@ -282,9 +288,10 @@ def run_fleet(
     wall_time = time.perf_counter() - started
     agreement = None
     if agreement_sample > 0:
-        agreement = ground_truth_agreement(
-            contexts, folds, seed, mistake_rate, agreement_sample, caches
-        )
+        with span("fleet.agreement", sample=agreement_sample):
+            agreement = ground_truth_agreement(
+                contexts, folds, seed, mistake_rate, agreement_sample, caches
+            )
     return FleetReport(
         results=results,
         executor=chosen.name,
@@ -363,6 +370,8 @@ def _validate_chunk_inline(
     """Serial/thread chunk task: share the parent's compiled checker
     directly (closures are pure, so threads are safe)."""
     _, start, count = task
+    registry = get_registry()
+    registry.inc("fleet.chunks")
     begun = time.perf_counter()
     outcomes = []
     for config in iter_corpus(
@@ -378,7 +387,9 @@ def _validate_chunk_inline(
         outcomes.append(
             _outcome_of(config, validate_config(context.checker, config.text))
         )
-    return outcomes, time.perf_counter() - begun
+    duration = time.perf_counter() - begun
+    registry.observe("fleet.chunk_seconds", duration)
+    return outcomes, duration
 
 
 # -- interpreter ground-truthing ---------------------------------------------
@@ -503,8 +514,9 @@ def _run_chunks_in_processes(
         for key in seed_keys:
             _FLEET_SEEDS.pop(key, None)
     out: list[tuple[list[ConfigOutcome], float]] = []
-    for outcomes, duration, checker_delta in raw:
+    for outcomes, duration, checker_delta, obs_delta in raw:
         caches.checkers.absorb_stats(checker_delta)
+        get_registry().absorb(obs_delta)
         out.append((outcomes, duration))
     return out
 
@@ -535,8 +547,10 @@ def _fleet_worker_context(name: str, options: SpexOptions):
 def _validate_chunk_by_name(task):
     """Process-pool entry point for one corpus chunk.
 
-    Returns (outcomes, chunk duration, checker-cache stats delta);
-    outcomes are compact value objects, so no slimming is needed."""
+    Returns (outcomes, chunk duration, checker-cache stats delta,
+    metrics delta); outcomes are compact value objects, so no slimming
+    is needed.  The metrics delta folds the worker's chunk counters
+    and stage-timing histograms into the parent registry."""
     (
         name,
         options,
@@ -557,6 +571,9 @@ def _validate_chunk_by_name(task):
             "sampled from (re-inference is sensitive to the interpreter "
             "hash seed; use a fork start method or set PYTHONHASHSEED)"
         )
+    registry = get_registry()
+    obs_before = registry.snapshot()
+    registry.inc("fleet.chunks")
     mix = dict(mix_items)
     begun = time.perf_counter()
     outcomes = []
@@ -567,4 +584,11 @@ def _validate_chunk_by_name(task):
         outcomes.append(
             _outcome_of(config, validate_config(checker, config.text))
         )
-    return outcomes, time.perf_counter() - begun, stats_delta
+    duration = time.perf_counter() - begun
+    registry.observe("fleet.chunk_seconds", duration)
+    return (
+        outcomes,
+        duration,
+        stats_delta,
+        metrics_delta(obs_before, registry.snapshot()),
+    )

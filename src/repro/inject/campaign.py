@@ -36,6 +36,7 @@ from repro.inject.generators import (
 from repro.inject.harness import InjectionHarness, InjectionVerdict
 from repro.inject.reactions import ReactionCategory
 from repro.knowledge import default_knowledge
+from repro.obs import get_registry, metrics_delta, span
 from repro.lang.source import Location
 from repro.runtime.interpreter import InterpreterOptions
 from typing import TYPE_CHECKING
@@ -152,20 +153,36 @@ class Campaign:
         chosen = resolve_executor(
             self.executor if executor is None else executor, self.max_workers
         )
+        get_registry().inc("campaign.runs")
         report = CampaignReport(system=self.system.name)
-        report.spex_report = spex_report or self.run_spex()
-        batches, template = self.generate(report.spex_report)
-        report.misconfigurations_tested = sum(len(b) for b in batches)
+        with span("campaign.run", system=self.system.name):
+            report.spex_report = spex_report or self.run_spex()
+            batches, template = self.generate(report.spex_report)
+            report.misconfigurations_tested = sum(len(b) for b in batches)
 
-        if isinstance(chosen, ProcessExecutor) and len(batches) > 1:
-            verdict_lists = self._test_batches_in_processes(
-                chosen, report.spex_report, batches
-            )
-        else:
-            harness = self._harness()
-            verdict_lists = chosen.map(
-                lambda batch: harness.test_batch(batch, template), batches
-            )
+            if isinstance(chosen, ProcessExecutor) and len(batches) > 1:
+                with span(
+                    "campaign.shard",
+                    system=self.system.name,
+                    batches=len(batches),
+                    executor="process",
+                ):
+                    verdict_lists = self._test_batches_in_processes(
+                        chosen, report.spex_report, batches
+                    )
+            else:
+                harness = self._harness()
+                with span(
+                    "campaign.shard",
+                    system=self.system.name,
+                    batches=len(batches),
+                ):
+                    verdict_lists = chosen.map(
+                        lambda batch: self._test_one_batch(
+                            harness, batch, template
+                        ),
+                        batches,
+                    )
 
         # One vulnerability per (parameter, reaction, rule): several
         # erroneous values of the same flavour expose the same hole.
@@ -189,6 +206,19 @@ class Campaign:
                     self._vulnerability_from(misconf, verdict)
                 )
         return report
+
+    def _test_one_batch(
+        self, harness: InjectionHarness, batch, template
+    ) -> list[InjectionVerdict]:
+        """One batch through the harness, wrapped in its span."""
+        get_registry().inc("campaign.batches")
+        with span(
+            "campaign.batch",
+            system=self.system.name,
+            param=batch.param,
+            size=len(batch),
+        ):
+            return harness.test_batch(batch, template)
 
     def _harness(self) -> InjectionHarness:
         """The in-process harness, wired to this campaign's caches."""
@@ -249,12 +279,14 @@ class Campaign:
         finally:
             _WORKER_SEEDS.pop(seed_key, None)
         verdict_lists: list[list[InjectionVerdict]] = [None] * len(batches)
-        for index, verdicts, launch_stats, boot_stats in results:
+        for index, verdicts, launch_stats, boot_stats, obs_delta in results:
             verdict_lists[index] = verdicts
             if self.launch_cache is not None:
                 self.launch_cache.absorb_stats(launch_stats)
             if self.snapshot_cache is not None:
                 self.snapshot_cache.absorb_boot_stats(boot_stats)
+            # Worker telemetry folds in exactly like the cache deltas.
+            get_registry().absorb(obs_delta)
         return verdict_lists
 
     def _case_alterations(self, spex_report: SpexReport, template):
@@ -395,9 +427,12 @@ def _test_batch_by_name(task):
     """Process-pool entry point for one `MisconfigurationBatch`.
 
     Returns (batch index, slimmed verdicts, launch-cache stats delta,
-    boot-stats delta); interpreter snapshots are dropped before the
-    verdicts cross the pickle boundary - silent-violation
-    classification already happened in this process.
+    boot-stats delta, metrics delta); interpreter snapshots are
+    dropped before the verdicts cross the pickle boundary -
+    silent-violation classification already happened in this process.
+    The metrics delta folds the worker's counters/histograms into the
+    parent registry exactly like the cache deltas fold into
+    `CacheStats`.
     """
     name, spex_options, batch_index, digest, use_launch_cache = task
     harness, batches, template = _worker_context(
@@ -412,19 +447,30 @@ def _test_batch_by_name(task):
             "is sensitive to the interpreter hash seed; use a fork "
             "start method or set PYTHONHASHSEED)"
         )
+    registry = get_registry()
     boot_before = harness.boot_stats.snapshot()
+    obs_before = registry.snapshot()
+    registry.inc("campaign.batches")
     if harness.launch_cache is None:
         verdicts = harness.test_batch(batch, template)
         slim_verdicts(verdicts)
-        return batch_index, verdicts, {}, _stats_delta(
-            boot_before, harness.boot_stats.snapshot()
+        return (
+            batch_index,
+            verdicts,
+            {},
+            _stats_delta(boot_before, harness.boot_stats.snapshot()),
+            metrics_delta(obs_before, registry.snapshot()),
         )
     before = harness.launch_cache.stats.snapshot()
     verdicts = harness.test_batch(batch, template)
     slim_verdicts(verdicts)
     delta = _stats_delta(before, harness.launch_cache.stats.snapshot())
-    return batch_index, verdicts, delta, _stats_delta(
-        boot_before, harness.boot_stats.snapshot()
+    return (
+        batch_index,
+        verdicts,
+        delta,
+        _stats_delta(boot_before, harness.boot_stats.snapshot()),
+        metrics_delta(obs_before, registry.snapshot()),
     )
 
 

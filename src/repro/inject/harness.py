@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.constraints import ControlDepConstraint
 from repro.inject.ar import ConfigAR
+from repro.obs import get_registry, get_tracer
 from repro.inject.generators import Misconfiguration, MisconfigurationBatch
 from repro.inject.reactions import Reaction, ReactionCategory
 from repro.runtime.interpreter import InterpreterOptions
@@ -87,6 +88,23 @@ class InjectionHarness:
     # -- low-level runs ------------------------------------------------------
 
     def launch(
+        self, config_text: str, requests: list[str] | None = None
+    ) -> ProcessResult:
+        # Telemetry: one counter always; a span only when a tracer is
+        # wired up (the disabled check keeps the warm path flat - the
+        # overhead budget is enforced by benchmarks/test_obs_overhead).
+        get_registry().inc("launch.requests")
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "harness.launch",
+                system=self.system.name,
+                requests=len(requests or ()),
+            ):
+                return self._cached_launch(config_text, requests)
+        return self._cached_launch(config_text, requests)
+
+    def _cached_launch(
         self, config_text: str, requests: list[str] | None = None
     ) -> ProcessResult:
         if self.launch_cache is None:

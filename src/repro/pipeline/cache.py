@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
 
 from repro.core.engine import SpexOptions, SpexReport
+from repro.obs.metrics import get_registry
 from repro.runtime.snapshot import BootRecord, BootStats, BoundaryHint
 
 T = TypeVar("T")
@@ -85,12 +86,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    peeks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "peeks": self.peeks,
         }
 
     def absorb(self, delta: dict[str, int]) -> None:
@@ -99,6 +102,7 @@ class CacheStats:
         self.hits += delta.get("hits", 0)
         self.misses += delta.get("misses", 0)
         self.invalidations += delta.get("invalidations", 0)
+        self.peeks += delta.get("peeks", 0)
 
 
 class ContentCache(Generic[T]):
@@ -138,8 +142,12 @@ class ContentCache(Generic[T]):
     def peek(self, key: str) -> T | None:
         """Read without touching the hit/miss counters - for
         bookkeeping reads of entries some earlier call populated (the
-        counters exist to measure *work avoided*, not lookups)."""
+        counters exist to measure *work avoided*, not lookups).  Peeks
+        get their own counter so warm-path reads (the serve tier, the
+        fleet's context probe) stay visible in the metrics registry
+        without polluting the work-avoided signal."""
         with self._lock:
+            self.stats.peeks += 1
             return self._entries.get(key)
 
     def put(self, key: str, value: T) -> T:
@@ -387,10 +395,30 @@ class PipelineCaches:
     snapshots: SnapshotCache = field(default_factory=SnapshotCache)
 
     def stats(self) -> dict[str, dict[str, int]]:
-        return {
+        """Per-layer counters, routed through the metrics registry.
+
+        Every counter is published as a ``cache.<layer>.<counter>``
+        gauge on the process registry (`repro.obs`) and the returned
+        mapping is read *back* from those gauges, so report footers,
+        ``--json`` payloads and the serve ``metrics`` op all draw from
+        one source.  The shape is byte-compatible with the
+        pre-registry dict-of-snapshots form.
+        """
+        registry = get_registry()
+        sections = {
             "inference": self.inference.stats.snapshot(),
             "campaigns": self.campaigns.stats.snapshot(),
             "launches": self.launches.stats.snapshot(),
             "checkers": self.checkers.stats.snapshot(),
             "snapshots": self.snapshots.boot_stats.snapshot(),
+        }
+        for layer, counters in sections.items():
+            for name, value in counters.items():
+                registry.gauge(f"cache.{layer}.{name}", value)
+        return {
+            layer: {
+                name: registry.gauge_value(f"cache.{layer}.{name}")
+                for name in counters
+            }
+            for layer, counters in sections.items()
         }

@@ -42,6 +42,7 @@ from repro.inject.campaign import (
 )
 from repro.inject.generators import GeneratorRegistry, default_generators
 from repro.inject.reactions import ReactionCategory
+from repro.obs import get_registry, metrics_delta, span
 from repro.pipeline.cache import (
     LaunchCache,
     PipelineCaches,
@@ -139,6 +140,7 @@ def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
         batch_executor = "serial"
     launch_cache = LaunchCache()
     snapshot_cache = SnapshotCache()
+    obs_before = get_registry().snapshot()
     campaign = Campaign(
         get_system(name),
         spex_options=spex_options,
@@ -155,6 +157,7 @@ def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
         time.perf_counter() - started,
         launch_cache.stats.snapshot(),
         snapshot_cache.boot_stats.snapshot(),
+        metrics_delta(obs_before, get_registry().snapshot()),
     )
 
 
@@ -206,6 +209,7 @@ class CampaignPipeline:
             self._check_process_compatible()
         targets = names if names is not None else self.systems
         systems = list(iter_systems(targets))
+        get_registry().inc("pipeline.runs")
         started = time.perf_counter()
 
         runs: dict[str, SystemRun] = {}
@@ -231,8 +235,14 @@ class CampaignPipeline:
                 pending.append((system.name, spex_key, campaign_key))
 
         if pending:
+            with span(
+                "pipeline.execute",
+                executor=chosen.name,
+                campaigns=len(pending),
+            ):
+                executed = self._execute(chosen, pending)
             for (name, spex_key, campaign_key), (report, duration) in zip(
-                pending, self._execute(chosen, pending)
+                pending, executed
             ):
                 if self.reuse_campaigns:
                     self.caches.campaigns.put(campaign_key, report)
@@ -264,13 +274,21 @@ class CampaignPipeline:
                 for name in names
             ]
             out = []
-            for _, report, duration, launch_stats, boot_stats in executor.map(
-                _run_campaign_by_name, tasks
-            ):
+            for (
+                _,
+                report,
+                duration,
+                launch_stats,
+                boot_stats,
+                obs_delta,
+            ) in executor.map(_run_campaign_by_name, tasks):
                 # Worker launch/snapshot caches die with the worker;
                 # their counters still belong in the report footer.
+                # Worker telemetry folds into the parent registry the
+                # same way.
                 self.caches.launches.absorb_stats(launch_stats)
                 self.caches.snapshots.absorb_boot_stats(boot_stats)
+                get_registry().absorb(obs_delta)
                 out.append((report, duration))
             return out
         batch_spec = self.batch_executor or "serial"

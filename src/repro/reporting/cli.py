@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.reporting.evalrun import Evaluation
 
@@ -60,7 +61,8 @@ def _usage() -> str:
         "  serve              run the always-on validation service "
         "(--host, --port,\n"
         "                     --systems a,b, --workers N, "
-        "--warmup-only, --json)\n"
+        "--warmup-only, --json,\n"
+        "                     --trace PATH)\n"
         "  submit SYSTEM FILE check one config against a running "
         "service\n"
         "                     (--host, --port, --config-id ID, "
@@ -279,6 +281,12 @@ def _serve_command(args: list[str]) -> int:
         action="store_true",
         help="emit machine-readable status lines",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append NDJSON trace spans (serve.check and below) to PATH",
+    )
     try:
         options = parser.parse_args(args)
     except SystemExit as exc:
@@ -336,10 +344,29 @@ def _serve_command(args: list[str]) -> int:
             await server.stop()
         return 0
 
+    trace_handle = None
+    if options.trace:
+        from repro.obs import NdjsonSink, Tracer, set_tracer
+
+        try:
+            trace_handle = open(options.trace, "a", encoding="utf-8")
+        except OSError as exc:
+            print(
+                f"cannot open trace file {options.trace}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        previous_tracer = set_tracer(
+            Tracer(sink=NdjsonSink(trace_handle))
+        )
     try:
         return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         return 0
+    finally:
+        if trace_handle is not None:
+            set_tracer(previous_tracer)
+            trace_handle.close()
 
 
 def _submit_command(args: list[str]) -> int:
@@ -391,6 +418,7 @@ def _submit_command(args: list[str]) -> int:
         return 2
     kinds = tuple(options.kinds.split(",")) if options.kinds else ()
     config_id = options.config_id or options.config_file
+    begun = time.perf_counter()
     try:
         response, diagnostics = submit_config(
             options.host,
@@ -411,10 +439,18 @@ def _submit_command(args: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    roundtrip = time.perf_counter() - begun
     if options.json:
         payload = response.summary_dict()
         del payload["page"]
         payload["diagnostics"] = diagnostics
+        # Client-measured trace: what the *caller* paid, end to end
+        # (connect + check + page drain), vs the server-side latency
+        # histogram the `metrics` op exposes.
+        payload["trace"] = {
+            "roundtrip_seconds": roundtrip,
+            "config_bytes": len(config_text.encode("utf-8")),
+        }
         print(json.dumps(payload, indent=2))
     else:
         print(render_submit_report(response, diagnostics))

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import copy
 import pickle
+import time
 from dataclasses import dataclass
 
 from repro.lang.ast_nodes import FunctionDef
@@ -50,6 +51,7 @@ from repro.runtime.interpreter import (
     InterpreterOptions,
     _ReturnSignal,
 )
+from repro.obs.profile import default_profiler
 from repro.runtime.os_model import EmulatedOS
 from repro.runtime.process import ProcessResult, capture_outcome
 from repro.runtime.values import ArrayValue, coerce, zero_value
@@ -171,19 +173,33 @@ def boot_launch(
     """
     options = options if options is not None else InterpreterOptions()
     plan = plan_for(program) if options.engine == "compiled" else None
+    # Sampled profiling (repro.obs): every Nth launch times its whole
+    # phase - replay (resumed) or boot (cold) - and records the step
+    # budget actually consumed.  Off-sample launches pay one counter.
+    profiler = default_profiler()
+    sampled = profiler.should_sample()
+    begun = time.perf_counter() if sampled else 0.0
     if record.snapshot is not None:
         if stats is not None:
             stats.resumes += 1
-        return _resume(program, requests, options, plan, record)
+        result = _resume(program, requests, options, plan, record)
+        if sampled:
+            profiler.record_phase("replay", time.perf_counter() - begun)
+            profiler.record_steps(result.steps)
+        return result
     if stats is not None:
         stats.boots += 1
     os_model = make_os()
     if requests:
         os_model.queue_requests(requests)
     interp = _fresh_interpreter(program, os_model, options, plan)
-    return capture_outcome(
+    result = capture_outcome(
         interp, lambda: _run_stepwise(interp, argv, record, plan, hint, stats)
     )
+    if sampled:
+        profiler.record_phase("boot", time.perf_counter() - begun)
+        profiler.record_steps(result.steps)
+    return result
 
 
 def _fresh_interpreter(

@@ -30,6 +30,7 @@ from repro.serve.models import (
     DiagnosticPage,
     FleetStatus,
     HistoryDelta,
+    MetricsResponse,
     ServeError,
 )
 from repro.serve.server import (
@@ -51,6 +52,7 @@ __all__ = [
     "MAX_FILTER_KINDS",
     "MAX_HISTORY_DEPTH",
     "MAX_PAGE_SIZE",
+    "MetricsResponse",
     "SCHEMA_VERSION",
     "ServeClient",
     "ServeError",

@@ -37,6 +37,7 @@ from repro.serve.models import (
     ConfigHistory,
     DiagnosticPage,
     FleetStatus,
+    MetricsResponse,
     ServeError,
 )
 from repro.serve.server import MAX_LINE_BYTES
@@ -138,6 +139,12 @@ class ServeClient:
 
     async def status(self) -> FleetStatus:
         return FleetStatus.from_dict(await self._call("status"))
+
+    async def metrics(self, limit: int | None = None) -> MetricsResponse:
+        payload = {} if limit is None else {"limit": limit}
+        return MetricsResponse.from_dict(
+            await self._call("metrics", **payload)
+        )
 
     async def ping(self) -> bool:
         return bool((await self._call("ping")).get("pong"))

@@ -320,6 +320,65 @@ class CheckResponse:
 
 
 @dataclass(frozen=True)
+class MetricsResponse:
+    """The service's telemetry snapshot (the ``metrics`` wire op).
+
+    Exposes the serve tier's per-request latency histograms, roster
+    warm-up timings and the pipeline cache gauges through one typed,
+    schema-versioned surface.  Metric families are *bounded* like
+    every other response: at most ``MAX_PAGE_SIZE`` names per family
+    (sorted, so truncation is deterministic), with ``truncated``
+    saying whether anything was cut.
+    """
+
+    schema_version: int
+    checks_served: int
+    uptime_seconds: float
+    warmup_seconds: float
+    warmup_by_system: dict  # system name -> compile seconds
+    counters: dict  # metric name -> int
+    gauges: dict  # metric name -> number
+    histograms: dict  # metric name -> {buckets, counts, count, sum}
+    truncated: bool = False
+
+    def summary_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "checks_served": self.checks_served,
+            "uptime_seconds": self.uptime_seconds,
+            "warmup_seconds": self.warmup_seconds,
+            "warmup_by_system": dict(self.warmup_by_system),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: dict(hist) for name, hist in self.histograms.items()
+            },
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsResponse":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ServeError(
+                "schema-mismatch",
+                f"server speaks schema {version}, client expects "
+                f"{SCHEMA_VERSION}",
+            )
+        return cls(
+            schema_version=version,
+            checks_served=data["checks_served"],
+            uptime_seconds=data["uptime_seconds"],
+            warmup_seconds=data["warmup_seconds"],
+            warmup_by_system=data["warmup_by_system"],
+            counters=data["counters"],
+            gauges=data["gauges"],
+            histograms=data["histograms"],
+            truncated=data["truncated"],
+        )
+
+
+@dataclass(frozen=True)
 class FleetStatus:
     """The always-on service's operational snapshot."""
 

@@ -5,7 +5,7 @@ One request per line, one response per line.  Requests are
 ``{"ok": true, "schema_version": N, "data": {...}}`` on success and
 ``{"ok": false, "schema_version": N, "error": {"code", "message"}}``
 on refusal.  Ops: ``check``, ``page``, ``history``, ``status``,
-``ping``, ``shutdown``.
+``metrics``, ``ping``, ``shutdown``.
 
 The stream reader's line limit doubles as the transport-level DoS
 guard: a request line longer than ``MAX_LINE_BYTES`` is answered with
@@ -191,6 +191,9 @@ class ValidationServer:
                 return _ok(history.summary_dict())
             if op == "status":
                 return _ok(self.service.status().summary_dict())
+            if op == "metrics":
+                metrics = self.service.metrics(payload.get("limit"))
+                return _ok(metrics.summary_dict())
             if op == "ping":
                 return _ok({"pong": True})
             if op == "shutdown":

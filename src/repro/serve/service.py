@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from repro.checker.compile import checker_for_system
 from repro.checker.validate import ERROR, ValidationReport, validate_config
 from repro.core.engine import SpexOptions
+from repro.obs import MetricsRegistry, get_tracer
 from repro.pipeline.cache import PipelineCaches
 from repro.serve.models import (
     DEFAULT_PAGE_SIZE,
@@ -61,6 +62,7 @@ from repro.serve.models import (
     DiagnosticPage,
     FleetStatus,
     HistoryDelta,
+    MetricsResponse,
     ServeError,
     decode_cursor,
     encode_cursor,
@@ -124,6 +126,11 @@ class ValidationService:
         self._checks_served = 0
         self._started_at: float | None = None
         self._warmup_seconds = 0.0
+        # Per-service registry (not the process-wide one): concurrent
+        # services in one process - the test suite runs several - must
+        # not see each other's request latencies.
+        self.registry = MetricsRegistry()
+        self._warmup_by_system: dict[str, float] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -157,9 +164,16 @@ class ValidationService:
         self._started_at = time.monotonic()
 
     def _compile_checker(self, name: str):
-        return checker_for_system(
+        begun = time.perf_counter()
+        checker = checker_for_system(
             self._systems[name], self._options, caches=self.caches
         )
+        # Runs on pool threads during start(); plain dict assignment
+        # per distinct key is safe and the timings feed the metrics op.
+        elapsed = time.perf_counter() - begun
+        self._warmup_by_system[name] = elapsed
+        self.registry.gauge(f"serve.warmup_seconds.{name}", elapsed)
+        return checker
 
     async def close(self) -> None:
         if self._pool is not None:
@@ -173,6 +187,20 @@ class ValidationService:
     async def check(self, request: CheckRequest) -> CheckResponse:
         """Validate one submission and commit it to the history."""
         request.validate()
+        begun = time.perf_counter()
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("serve.check", system=request.system):
+                response = await self._check_inner(request)
+        else:
+            response = await self._check_inner(request)
+        self.registry.inc("serve.requests")
+        self.registry.observe(
+            "serve.check_seconds", time.perf_counter() - begun
+        )
+        return response
+
+    async def _check_inner(self, request: CheckRequest) -> CheckResponse:
         checker = self._checker_for(request.system)
         loop = asyncio.get_running_loop()
         report: ValidationReport = await loop.run_in_executor(
@@ -365,6 +393,52 @@ class ValidationService:
             warmup_seconds=self._warmup_seconds,
             workers=self._workers,
             cache_stats=self.caches.stats(),
+        )
+
+    def metrics(self, limit: int | None = None) -> MetricsResponse:
+        """Snapshot this service's telemetry as a typed response.
+
+        Families are truncated to at most `limit` names (default
+        `DEFAULT_PAGE_SIZE`, ceiling `MAX_PAGE_SIZE` - the same
+        discipline as diagnostic pages) in sorted order, so the wire
+        payload stays bounded no matter how many metric names
+        accumulate; `truncated` says whether anything was cut.
+        """
+        if limit is not None:
+            # Reuse the request-side page ceiling without duplicating it.
+            CheckRequest(
+                system="-", config_text="", page_size=limit
+            ).validate()
+        cap = limit or DEFAULT_PAGE_SIZE
+        # Cache counters ride along as gauges so one op answers both
+        # "how fast are requests" and "are the caches earning their keep".
+        for layer, counters in self.caches.stats().items():
+            for name, value in counters.items():
+                self.registry.gauge(f"cache.{layer}.{name}", value)
+        snap = self.registry.snapshot()
+        truncated = False
+
+        def bound(family: dict) -> dict:
+            nonlocal truncated
+            names = sorted(family)
+            if len(names) > cap:
+                truncated = True
+                names = names[:cap]
+            return {name: family[name] for name in names}
+
+        uptime = (
+            time.monotonic() - self._started_at if self.started else 0.0
+        )
+        return MetricsResponse(
+            schema_version=SCHEMA_VERSION,
+            checks_served=self._checks_served,
+            uptime_seconds=uptime,
+            warmup_seconds=self._warmup_seconds,
+            warmup_by_system=dict(sorted(self._warmup_by_system.items())),
+            counters=bound(snap["counters"]),
+            gauges=bound(snap["gauges"]),
+            histograms=bound(snap["histograms"]),
+            truncated=truncated,
         )
 
 

@@ -19,19 +19,14 @@ from __future__ import annotations
 
 from repro.core.accuracy import (
     truth_basic,
+    truth_ctrl_dep,
     truth_range,
     truth_semantic,
 )
 from repro.inject.ar import DirectiveDialect
-from repro.systems.base import (
-    FunctionalTest,
-    SubjectSystem,
-    decode_bool,
-    decode_int,
-    decode_size,
-    decode_string,
-)
+from repro.systems.base import FunctionalTest, SubjectSystem
 from repro.systems.registry import register
+from repro.systems.spec import SAME_AS_NAME, OsDir, ParamSpec, SystemSpec
 
 SQUID_MAIN = r"""
 // squid-mini
@@ -447,131 +442,119 @@ def _tests() -> list[FunctionalTest]:
     ]
 
 
-def _ground_truth():
-    ints = [
-        "http_port",
-        "icp_port",
-        "cache_mem",
-        "request_body_max_size",
-        "reply_body_max_size",
-        "readahead_gap",
-        "pconn_timeout",
-        "client_lifetime",
-        "connect_retry_delay",
-        "max_filedescriptors",
-        "memory_pools_limit",
+# (config name, decoder slug, effective variable, extra truth).  The
+# renamed variables (cache_mem -> cache_mem_mb etc.) are the paper's
+# unit-in-the-name pattern; `sscanf %i` parsing ignores the unit.
+_INTS = [
+    ("http_port", "int", SAME_AS_NAME,
+     (truth_semantic("http_port", "PORT"),)),
+    ("icp_port", "int", SAME_AS_NAME,
+     (truth_semantic("icp_port", "PORT"),)),
+    ("cache_mem", "int", "cache_mem_mb",
+     (truth_semantic("cache_mem", "SIZE"),)),
+    ("request_body_max_size", "size", SAME_AS_NAME,
+     (truth_semantic("request_body_max_size", "SIZE"),)),
+    ("reply_body_max_size", "size", SAME_AS_NAME, ()),
+    ("readahead_gap", "int", "readahead_gap_kb",
+     (truth_semantic("readahead_gap", "SIZE"),)),
+    ("pconn_timeout", "int", SAME_AS_NAME,
+     (truth_semantic("pconn_timeout", "TIME"),)),
+    ("client_lifetime", "int", SAME_AS_NAME, ()),
+    ("connect_retry_delay", "int", SAME_AS_NAME,
+     (truth_semantic("connect_retry_delay", "TIME"),)),
+    ("max_filedescriptors", "int", SAME_AS_NAME,
+     (truth_range("max_filedescriptors"),)),
+    ("memory_pools_limit", "int", SAME_AS_NAME,
+     (truth_semantic("memory_pools_limit", "SIZE"),)),
+]
+
+# Figure 6(c) booleans, stored as int flags; the one rename hides the
+# "_string" suffix the directive carries but the variable dropped.
+_BOOLS = [
+    ("memory_pools", SAME_AS_NAME),
+    ("half_closed_clients", SAME_AS_NAME),
+    ("detect_broken_pconn", SAME_AS_NAME),
+    ("client_db", SAME_AS_NAME),
+    ("httpd_suppress_version_string", "httpd_suppress_version"),
+    ("buffered_logs", SAME_AS_NAME),
+    ("dns_defnames", SAME_AS_NAME),
+]
+
+# Enum directives deliberately carry NO effective location (var=None):
+# their values vanish into case-sensitive strcmp chains that store
+# policy *codes*, so silent-violation comparison cannot map them.
+_ENUMS = [
+    "cache_replacement_policy",
+    "memory_replacement_policy",
+    "uri_whitespace",
+]
+
+_STRS = [
+    ("cache_dir", SAME_AS_NAME,
+     (truth_semantic("cache_dir", "FILE"),)),
+    ("coredump_dir", SAME_AS_NAME, ()),
+    ("pid_filename", SAME_AS_NAME,
+     (truth_semantic("pid_filename", "FILE"),)),
+    ("visible_hostname", SAME_AS_NAME, ()),
+    ("dns_nameservers", "dns_nameserver",
+     (truth_semantic("dns_nameservers", "IP_ADDRESS"),)),
+]
+
+SPEC = SystemSpec(
+    name="squid",
+    display_name="Squid",
+    description="Miniature Squid with the paper's Squid traits",
+    sources={"squid.c": SQUID_MAIN},
+    annotations=ANNOTATIONS,
+    dialect=DirectiveDialect(),
+    config_path="/etc/squid/squid.conf",
+    default_config=DEFAULT_CONFIG,
+    params=[
+        ParamSpec(
+            name,
+            decode=decode,
+            var=var,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "int"),) + extra,
+        )
+        for name, decode, var, extra in _INTS
     ]
-    bools = [
-        "memory_pools",
-        "half_closed_clients",
-        "detect_broken_pconn",
-        "client_db",
-        "httpd_suppress_version_string",
-        "buffered_logs",
-        "dns_defnames",
+    + [
+        ParamSpec(
+            name,
+            decode="bool",
+            var=var,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "int"), truth_range(name)),
+        )
+        for name, var in _BOOLS
     ]
-    enums = [
-        "cache_replacement_policy",
-        "memory_replacement_policy",
-        "uri_whitespace",
+    + [
+        ParamSpec(
+            name,
+            decode="string",
+            var=None,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "string"), truth_range(name)),
+        )
+        for name in _ENUMS
     ]
-    strs = [
-        "cache_dir",
-        "coredump_dir",
-        "pid_filename",
-        "visible_hostname",
-        "dns_nameservers",
-    ]
-    truth = [truth_basic(p, "int") for p in ints]
-    truth += [truth_basic(p, "int") for p in bools]  # stored as int flags
-    truth += [truth_basic(p, "string") for p in enums + strs]
-    truth += [
-        truth_semantic("http_port", "PORT"),
-        truth_semantic("icp_port", "PORT"),
-        truth_semantic("cache_mem", "SIZE"),
-        truth_semantic("readahead_gap", "SIZE"),
-        truth_semantic("connect_retry_delay", "TIME"),
-        truth_semantic("pconn_timeout", "TIME"),
-        truth_semantic("request_body_max_size", "SIZE"),
-        truth_semantic("cache_dir", "FILE"),
-        truth_semantic("pid_filename", "FILE"),
-        truth_semantic("dns_nameservers", "IP_ADDRESS"),
-        truth_range("max_filedescriptors"),
-        truth_semantic("memory_pools_limit", "SIZE"),
-    ]
-    from repro.core.accuracy import truth_ctrl_dep
-    truth += [truth_ctrl_dep("memory_pools_limit", "memory_pools")]
-    truth += [truth_range(p) for p in bools + enums]
-    return truth
+    + [
+        ParamSpec(
+            name,
+            decode="string",
+            var=var,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "string"),) + extra,
+        )
+        for name, var, extra in _STRS
+    ],
+    tests=_tests(),
+    extra_truth=[truth_ctrl_dep("memory_pools_limit", "memory_pools")],
+    os_dirs=[OsDir("/var/cache/squid")],
+)
 
 
 @register("squid")
 def build() -> SubjectSystem:
-    ints = {
-        "http_port": decode_int,
-        "icp_port": decode_int,
-        "cache_mem": decode_int,
-        "request_body_max_size": decode_size,
-        "reply_body_max_size": decode_size,
-        "readahead_gap": decode_int,
-        "pconn_timeout": decode_int,
-        "client_lifetime": decode_int,
-        "connect_retry_delay": decode_int,
-        "memory_pools_limit": decode_int,
-        "max_filedescriptors": decode_int,
-    }
-    bools = {
-        "memory_pools": decode_bool,
-        "half_closed_clients": decode_bool,
-        "detect_broken_pconn": decode_bool,
-        "client_db": decode_bool,
-        "httpd_suppress_version_string": decode_bool,
-        "buffered_logs": decode_bool,
-        "dns_defnames": decode_bool,
-    }
-    decoders = {**ints, **bools}
-    effective = {
-        "http_port": ("http_port", ()),
-        "icp_port": ("icp_port", ()),
-        "cache_mem": ("cache_mem_mb", ()),
-        "request_body_max_size": ("request_body_max_size", ()),
-        "reply_body_max_size": ("reply_body_max_size", ()),
-        "readahead_gap": ("readahead_gap_kb", ()),
-        "pconn_timeout": ("pconn_timeout", ()),
-        "client_lifetime": ("client_lifetime", ()),
-        "connect_retry_delay": ("connect_retry_delay", ()),
-        "max_filedescriptors": ("max_filedescriptors", ()),
-        "memory_pools_limit": ("memory_pools_limit", ()),
-        "memory_pools": ("memory_pools", ()),
-        "half_closed_clients": ("half_closed_clients", ()),
-        "detect_broken_pconn": ("detect_broken_pconn", ()),
-        "client_db": ("client_db", ()),
-        "httpd_suppress_version_string": ("httpd_suppress_version", ()),
-        "buffered_logs": ("buffered_logs", ()),
-        "dns_defnames": ("dns_defnames", ()),
-        "cache_dir": ("cache_dir", ()),
-        "coredump_dir": ("coredump_dir", ()),
-        "pid_filename": ("pid_filename", ()),
-        "visible_hostname": ("visible_hostname", ()),
-        "dns_nameservers": ("dns_nameserver", ()),
-    }
-
-    def setup(os_model):
-        os_model.add_dir("/var/cache/squid")
-
-    return SubjectSystem(
-        name="squid",
-        display_name="Squid",
-        description="Miniature Squid with the paper's Squid traits",
-        sources={"squid.c": SQUID_MAIN},
-        annotations=ANNOTATIONS,
-        dialect=DirectiveDialect(),
-        config_path="/etc/squid/squid.conf",
-        default_config=DEFAULT_CONFIG,
-        tests=_tests(),
-        effective_locations=effective,
-        decoders=decoders,
-        manual=MANUAL,
-        ground_truth=_ground_truth(),
-        setup_os=setup,
-    )
+    return SPEC.build()

@@ -1,0 +1,64 @@
+"""Launch-profiler tests: sampling cadence and recorded metric names."""
+
+from repro.obs import (
+    LaunchProfiler,
+    MetricsRegistry,
+    default_profiler,
+    set_enabled,
+)
+from repro.obs.profile import STEP_BUCKETS
+
+
+class TestSampling:
+    def test_first_launch_is_always_sampled(self):
+        profiler = LaunchProfiler(MetricsRegistry(), sample_every=32)
+        assert profiler.should_sample() is True
+
+    def test_cadence_is_every_nth(self):
+        profiler = LaunchProfiler(MetricsRegistry(), sample_every=4)
+        decisions = [profiler.should_sample() for _ in range(9)]
+        assert decisions == [
+            True, False, False, False,
+            True, False, False, False,
+            True,
+        ]
+
+    def test_sample_every_one_samples_everything(self):
+        profiler = LaunchProfiler(MetricsRegistry(), sample_every=1)
+        assert all(profiler.should_sample() for _ in range(5))
+
+    def test_disabled_telemetry_never_samples(self):
+        profiler = LaunchProfiler(MetricsRegistry(), sample_every=1)
+        previous = set_enabled(False)
+        try:
+            assert profiler.should_sample() is False
+        finally:
+            set_enabled(previous)
+        # The disabled launch was not counted: re-enabling starts the
+        # cadence at launch one.
+        assert profiler.should_sample() is True
+
+
+class TestRecording:
+    def test_phases_land_under_launch_names(self):
+        registry = MetricsRegistry()
+        profiler = LaunchProfiler(registry)
+        profiler.record_phase("boot", 0.25)
+        profiler.record_phase("replay", 0.003)
+        histograms = registry.snapshot()["histograms"]
+        assert histograms["launch.boot_seconds"]["count"] == 1
+        assert histograms["launch.replay_seconds"]["count"] == 1
+
+    def test_steps_use_the_budget_buckets(self):
+        registry = MetricsRegistry()
+        LaunchProfiler(registry).record_steps(123)
+        hist = registry.snapshot()["histograms"]["launch.steps"]
+        assert hist["buckets"] == list(STEP_BUCKETS)
+        assert hist["count"] == 1
+
+
+class TestDefaultProfiler:
+    def test_default_profiler_is_a_singleton_on_the_registry(self):
+        profiler = default_profiler()
+        assert profiler is default_profiler()
+        assert profiler.sample_every >= 1

@@ -211,6 +211,7 @@ class TestPipelineCaches:
             "hits": 0,
             "misses": 0,
             "invalidations": 0,
+            "peeks": 0,
         }
         assert stats["snapshots"] == {
             "resumes": 0,

@@ -193,3 +193,67 @@ class TestInProcessConcurrency:
         status = run(main())
         assert status.checks_served == 20
         assert status.results_retained == 20  # all texts distinct
+
+
+class TestMetricsOpConcurrency:
+    def test_eight_clients_interleaving_checks_and_metrics(
+        self, make_service
+    ):
+        """The metrics op under churn: 8 clients each submit 4 checks
+        interleaved with metrics reads.  Every metrics response must be
+        internally consistent (histogram totals match their buckets)
+        and the final snapshot must account for every request exactly
+        once."""
+        checks_per_client = 4
+
+        async def main():
+            service = make_service(systems=["mysql"])
+            await service.start()
+            try:
+                async def one_client(index):
+                    seen = []
+                    for i in range(checks_per_client):
+                        await service.check_config(
+                            "mysql", f"client{index}_{i} = 1\n"
+                        )
+                        seen.append(service.metrics())
+                    return seen
+
+                interleaved = await asyncio.gather(
+                    *(one_client(i) for i in range(N_CLIENTS))
+                )
+                return interleaved, service.metrics(limit=100)
+            finally:
+                await service.close()
+
+        interleaved, final = run(main())
+        for responses in interleaved:
+            for metrics in responses:
+                hist = metrics.histograms.get("serve.check_seconds")
+                if hist is not None:
+                    assert sum(hist["counts"]) == hist["count"]
+                assert metrics.counters.get("serve.requests", 0) >= 1
+        total = N_CLIENTS * checks_per_client
+        assert final.checks_served == total
+        assert final.counters["serve.requests"] == total
+        assert final.histograms["serve.check_seconds"]["count"] == total
+        assert final.warmup_by_system == {
+            "mysql": final.warmup_by_system["mysql"]
+        }
+
+    def test_metrics_over_the_wire_respects_limit(self, server):
+        """Socket-level metrics op: a limit of 1 bounds every family
+        and reports the truncation."""
+        async def main():
+            client = await ServeClient.connect(server.host, server.port)
+            try:
+                await client.check("mysql", BAD_MYSQL)
+                return await client.metrics(limit=1)
+            finally:
+                await client.close()
+
+        metrics = run(main())
+        assert len(metrics.counters) <= 1
+        assert len(metrics.gauges) <= 1
+        assert len(metrics.histograms) <= 1
+        assert metrics.truncated is True

@@ -13,6 +13,7 @@ Regenerate after an intentional schema change with::
         tests/serve/test_golden_schemas.py -q
 """
 
+import asyncio
 import json
 import os
 from pathlib import Path
@@ -26,9 +27,11 @@ from serveutil import BAD_MYSQL, CLEAN_MYSQL
 GOLDEN_DIR = Path(__file__).parent / "golden"
 UPDATE = os.environ.get("UPDATE_GOLDENS") == "1"
 
-# Dict fields whose *keys* are data (diagnostic-kind histograms), not
-# schema: recorded as a uniform key->type map instead of a fixed shape.
-MAP_KEYS = {"by_kind"}
+# Dict fields whose *keys* are data (diagnostic-kind histograms,
+# metric-name-keyed telemetry families), not schema: recorded as a
+# uniform key->type map instead of a fixed shape.
+MAP_KEYS = {"by_kind", "counters", "gauges", "histograms",
+            "warmup_by_system"}
 
 
 def merge(a, b):
@@ -220,7 +223,29 @@ class TestCliGoldenSchemas:
         path.write_text(CLEAN_MYSQL)
         payload = self._json_out(capsys, base, expect_code=0)
         assert payload["history"] is not None
+        assert payload["trace"]["config_bytes"] > 0
         assert_matches_golden("submit", payload)
+
+    def test_metrics_op_schema(self, server):
+        """The metrics wire op: check once first so the latency
+        histogram and request counter are populated, making the
+        golden's shape independent of test ordering."""
+        from repro.serve import ServeClient
+
+        async def run():
+            client = await ServeClient.connect("127.0.0.1", server.port)
+            try:
+                await client.check("mysql", BAD_MYSQL)
+                return await client.metrics()
+            finally:
+                await client.close()
+
+        response = asyncio.run(run())
+        assert response.checks_served >= 1
+        assert "serve.check_seconds" in response.histograms
+        assert response.counters["serve.requests"] >= 1
+        assert "mysql" in response.warmup_by_system
+        assert_matches_golden("metrics", response.summary_dict())
 
 
 class TestGoldenFilesAreCheckedIn:
@@ -231,6 +256,7 @@ class TestGoldenFilesAreCheckedIn:
             "check_access_control",
             "pipeline",
             "fleet",
+            "metrics",
             "serve_status",
             "submit",
         ],

@@ -1,6 +1,6 @@
 """Migration parity: the declarative `SystemSpec` builds of vsftpd,
-openldap and apache are byte-identical to the imperative builders they
-replaced.
+openldap, apache and squid are byte-identical to the imperative
+builders they replaced.
 
 The legacy builders below are the pre-migration `build()` bodies,
 frozen here as the reference.  Parity is checked at every level the
@@ -22,7 +22,7 @@ from repro.core.engine import SpexOptions
 from repro.inject.ar import DirectiveDialect, KeyValueDialect
 from repro.inject.campaign import Campaign
 from repro.pipeline.cache import spex_fingerprint
-from repro.systems import apache, get_system, openldap, vsftpd
+from repro.systems import apache, get_system, openldap, squid, vsftpd
 from repro.systems.base import (
     SubjectSystem,
     decode_bool,
@@ -286,10 +286,135 @@ def _legacy_apache() -> SubjectSystem:
     )
 
 
+def _legacy_squid() -> SubjectSystem:
+    ints = {
+        "http_port": decode_int,
+        "icp_port": decode_int,
+        "cache_mem": decode_int,
+        "request_body_max_size": decode_size,
+        "reply_body_max_size": decode_size,
+        "readahead_gap": decode_int,
+        "pconn_timeout": decode_int,
+        "client_lifetime": decode_int,
+        "connect_retry_delay": decode_int,
+        "memory_pools_limit": decode_int,
+        "max_filedescriptors": decode_int,
+    }
+    bools = {
+        "memory_pools": decode_bool,
+        "half_closed_clients": decode_bool,
+        "detect_broken_pconn": decode_bool,
+        "client_db": decode_bool,
+        "httpd_suppress_version_string": decode_bool,
+        "buffered_logs": decode_bool,
+        "dns_defnames": decode_bool,
+    }
+    decoders = {**ints, **bools}
+    effective = {
+        "http_port": ("http_port", ()),
+        "icp_port": ("icp_port", ()),
+        "cache_mem": ("cache_mem_mb", ()),
+        "request_body_max_size": ("request_body_max_size", ()),
+        "reply_body_max_size": ("reply_body_max_size", ()),
+        "readahead_gap": ("readahead_gap_kb", ()),
+        "pconn_timeout": ("pconn_timeout", ()),
+        "client_lifetime": ("client_lifetime", ()),
+        "connect_retry_delay": ("connect_retry_delay", ()),
+        "max_filedescriptors": ("max_filedescriptors", ()),
+        "memory_pools_limit": ("memory_pools_limit", ()),
+        "memory_pools": ("memory_pools", ()),
+        "half_closed_clients": ("half_closed_clients", ()),
+        "detect_broken_pconn": ("detect_broken_pconn", ()),
+        "client_db": ("client_db", ()),
+        "httpd_suppress_version_string": ("httpd_suppress_version", ()),
+        "buffered_logs": ("buffered_logs", ()),
+        "dns_defnames": ("dns_defnames", ()),
+        "cache_dir": ("cache_dir", ()),
+        "coredump_dir": ("coredump_dir", ()),
+        "pid_filename": ("pid_filename", ()),
+        "visible_hostname": ("visible_hostname", ()),
+        "dns_nameservers": ("dns_nameserver", ()),
+    }
+    int_names = [
+        "http_port",
+        "icp_port",
+        "cache_mem",
+        "request_body_max_size",
+        "reply_body_max_size",
+        "readahead_gap",
+        "pconn_timeout",
+        "client_lifetime",
+        "connect_retry_delay",
+        "max_filedescriptors",
+        "memory_pools_limit",
+    ]
+    bool_names = [
+        "memory_pools",
+        "half_closed_clients",
+        "detect_broken_pconn",
+        "client_db",
+        "httpd_suppress_version_string",
+        "buffered_logs",
+        "dns_defnames",
+    ]
+    enums = [
+        "cache_replacement_policy",
+        "memory_replacement_policy",
+        "uri_whitespace",
+    ]
+    strs = [
+        "cache_dir",
+        "coredump_dir",
+        "pid_filename",
+        "visible_hostname",
+        "dns_nameservers",
+    ]
+    truth = [truth_basic(p, "int") for p in int_names]
+    truth += [truth_basic(p, "int") for p in bool_names]
+    truth += [truth_basic(p, "string") for p in enums + strs]
+    truth += [
+        truth_semantic("http_port", "PORT"),
+        truth_semantic("icp_port", "PORT"),
+        truth_semantic("cache_mem", "SIZE"),
+        truth_semantic("readahead_gap", "SIZE"),
+        truth_semantic("connect_retry_delay", "TIME"),
+        truth_semantic("pconn_timeout", "TIME"),
+        truth_semantic("request_body_max_size", "SIZE"),
+        truth_semantic("cache_dir", "FILE"),
+        truth_semantic("pid_filename", "FILE"),
+        truth_semantic("dns_nameservers", "IP_ADDRESS"),
+        truth_range("max_filedescriptors"),
+        truth_semantic("memory_pools_limit", "SIZE"),
+        truth_ctrl_dep("memory_pools_limit", "memory_pools"),
+    ]
+    truth += [truth_range(p) for p in bool_names + enums]
+
+    def setup_os(os_model):
+        os_model.add_dir("/var/cache/squid")
+
+    return SubjectSystem(
+        name="squid",
+        display_name="Squid",
+        description="Miniature Squid with the paper's Squid traits",
+        sources={"squid.c": squid.SQUID_MAIN},
+        annotations=squid.ANNOTATIONS,
+        dialect=DirectiveDialect(),
+        config_path="/etc/squid/squid.conf",
+        default_config=squid.DEFAULT_CONFIG,
+        tests=squid._tests(),
+        effective_locations=effective,
+        decoders=decoders,
+        manual=squid.MANUAL,
+        ground_truth=truth,
+        setup_os=setup_os,
+    )
+
+
 _LEGACY = {
     "vsftpd": _legacy_vsftpd,
     "openldap": _legacy_openldap,
     "apache": _legacy_apache,
+    "squid": _legacy_squid,
 }
 
 MIGRATED = sorted(_LEGACY)

@@ -252,6 +252,77 @@ class TestImperativeSystem:
             )
 
 
+class TestObservabilityEscapes:
+    LIB_PATH = Path("src/repro/inject/campaign.py")
+
+    def _codes_at(self, path: Path, source: str) -> list[str]:
+        return [c for _, _, c, _ in check_tree(path, ast.parse(source))]
+
+    def test_bare_print_in_library_module_flagged(self):
+        source = "def f(x):\n    print(x)\n    return x\n"
+        assert self._codes_at(self.LIB_PATH, source) == ["bare-print"]
+
+    def test_wall_clock_in_library_module_flagged(self):
+        source = "import time\nstamp = time.time()\n"
+        assert self._codes_at(self.LIB_PATH, source) == ["wall-clock"]
+
+    def test_monotonic_clocks_pass(self):
+        source = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+        )
+        assert self._codes_at(self.LIB_PATH, source) == []
+
+    def test_time_method_on_other_object_passes(self):
+        # clock.time() is an injected clock, not the wall clock.
+        source = "def f(clock):\n    return clock.time()\n"
+        assert self._codes_at(self.LIB_PATH, source) == []
+
+    def test_cli_module_may_print_but_not_wall_clock(self):
+        path = Path("src/repro/reporting/cli.py")
+        assert self._codes_at(path, "print('hi')\n") == []
+        assert self._codes_at(path, "import time\ntime.time()\n") == [
+            "wall-clock"
+        ]
+
+    def test_non_library_modules_exempt(self):
+        # Tests, tools and benchmarks print and read clocks freely;
+        # the discipline applies to src/repro/ only.
+        source = "import time\nprint(time.time())\n"
+        for raw in (
+            "x.py",
+            "tools/lint.py",
+            "tests/obs/test_metrics.py",
+            "benchmarks/test_obs_overhead.py",
+        ):
+            assert self._codes_at(Path(raw), source) == []
+
+    def test_print_allowlist_tracks_reality(self):
+        # Every allowlisted module must exist and still print; a
+        # module that stopped printing should lose its exemption.
+        from lint import BARE_PRINT_ALLOWLIST
+
+        lib_root = REPO_ROOT / "src" / "repro"
+        for rel in BARE_PRINT_ALLOWLIST:
+            module = lib_root / rel
+            assert module.exists(), rel
+            assert "print(" in module.read_text(encoding="utf-8"), (
+                f"{rel} no longer prints; drop it from the allowlist"
+            )
+
+    def test_wall_clock_allowlist_tracks_reality(self):
+        from lint import WALL_CLOCK_ALLOWLIST
+
+        lib_root = REPO_ROOT / "src" / "repro"
+        for rel in WALL_CLOCK_ALLOWLIST:
+            module = lib_root / rel
+            assert module.exists(), rel
+            assert "time.time(" in module.read_text(encoding="utf-8"), (
+                f"{rel} no longer reads the wall clock; drop it"
+            )
+
+
 class TestExistingDetectors:
     def test_dead_branch_same_return(self):
         source = (

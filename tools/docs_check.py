@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Execute every Python code block in README.md, docs/SERVING.md and
-docs/ADDING_A_SYSTEM.md against the live library.
+"""Execute every Python code block in README.md and the docs/ guides
+(SERVING, ADDING_A_SYSTEM, OBSERVABILITY) against the live library.
 
 Documentation drifts when examples reference imports, functions or
 parameters that were since renamed; this gate runs each fenced
@@ -14,7 +14,12 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = ["README.md", "docs/SERVING.md", "docs/ADDING_A_SYSTEM.md"]
+DOC_FILES = [
+    "README.md",
+    "docs/SERVING.md",
+    "docs/ADDING_A_SYSTEM.md",
+    "docs/OBSERVABILITY.md",
+]
 
 
 def extract_python_blocks(text: str) -> list[tuple[int, str]]:

@@ -36,6 +36,20 @@ have actually bitten this codebase:
   ``spec.py`` (the compiler - the one sanctioned call site) and the
   systems not yet migrated are allowlisted; shrink the allowlist as
   migrations land.
+* ``bare-print`` - a ``print(...)`` call in library code under
+  ``src/repro/``.  Library modules have two sanctioned output
+  channels: human-facing text flows through the CLI layer
+  (``reporting/cli.py``, the one allowlisted module) and telemetry
+  flows through ``repro.obs`` counters/histograms/spans.  A stray
+  ``print`` in a pillar corrupts piped ``--json`` output and is
+  invisible to the metrics snapshot.
+* ``wall-clock`` - a ``time.time()`` call in library code under
+  ``src/repro/``.  Wall-clock timestamps drift with NTP and break
+  deterministic tests; intervals use ``time.perf_counter()`` /
+  ``time.monotonic()`` and trace timestamps come from the tracer's
+  injected clock (``repro.obs.Tracer(clock=...)``).  The allowlist is
+  empty on purpose - grow it only for a module that genuinely needs
+  calendar time.
 
 When ruff or pyflakes *is* installed, ``--external`` additionally runs
 it (ruff restricted to F-codes) for broader coverage; absence of both
@@ -126,6 +140,9 @@ def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
 
     for finding in _find_imperative_system_builds(path, tree):
         findings.append((path, finding[0], "imperative-system", finding[1]))
+
+    for line, code, message in _find_observability_escapes(path, tree):
+        findings.append((path, line, code, message))
 
     for node in ast.walk(tree):
         if (
@@ -272,7 +289,6 @@ IMPERATIVE_SYSTEM_ALLOWLIST = {
     "spec.py",
     "mysql.py",
     "postgresql.py",
-    "squid.py",
     "storage_a.py",
 }
 
@@ -310,6 +326,85 @@ def _find_imperative_system_builds(
                     "system module constructs SubjectSystem imperatively; "
                     "declare a SystemSpec and register SPEC.build() "
                     "instead (see docs/ADDING_A_SYSTEM.md)",
+                )
+            )
+    return findings
+
+
+# Modules under src/repro/ (repo-relative, posix) permitted to call
+# print() directly: the CLI is the sanctioned human-output surface.
+# Everything else routes human-facing text through reporting/cli.py
+# and telemetry through repro.obs.
+BARE_PRINT_ALLOWLIST = {
+    "reporting/cli.py",
+}
+
+# Modules under src/repro/ permitted to call time.time().  Empty on
+# purpose: intervals use time.perf_counter()/time.monotonic() and
+# trace timestamps come from the tracer's injected clock.  Grow this
+# only for a module that genuinely needs calendar time.
+WALL_CLOCK_ALLOWLIST: set[str] = set()
+
+
+def _repro_relative(path: Path) -> str | None:
+    """Path below ``src/repro/`` (posix), or None outside the library.
+
+    Scoping mirrors `_is_system_module`: tests, tools and benchmarks
+    print and read clocks legitimately; only library modules are held
+    to the repro.obs discipline.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            return "/".join(parts[i + 2:])
+    return None
+
+
+def _find_observability_escapes(
+    path: Path, tree: ast.AST
+) -> list[tuple[int, str, str]]:
+    """``print(...)`` and ``time.time()`` calls in library modules.
+
+    Returns ``(line, code, message)`` triples - this detector owns two
+    codes (``bare-print`` and ``wall-clock``).
+    """
+    rel = _repro_relative(path)
+    if rel is None:
+        return []
+    findings: list[tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "print"
+            and rel not in BARE_PRINT_ALLOWLIST
+        ):
+            findings.append(
+                (
+                    node.lineno,
+                    "bare-print",
+                    "print() in library code; route human-facing text "
+                    "through the CLI layer and telemetry through "
+                    "repro.obs counters/spans",
+                )
+            )
+        elif (
+            isinstance(target, ast.Attribute)
+            and target.attr == "time"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "time"
+            and rel not in WALL_CLOCK_ALLOWLIST
+        ):
+            findings.append(
+                (
+                    node.lineno,
+                    "wall-clock",
+                    "time.time() in library code; use "
+                    "time.perf_counter()/time.monotonic() for intervals "
+                    "and the repro.obs injected clock for trace "
+                    "timestamps",
                 )
             )
     return findings
