@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # this.
 export PYTHONHASHSEED := 0
 
-.PHONY: test test-fast lint bench bench-json fleet-bench obs-bench trace-demo docs-check quickstart pipeline fleet serve all
+.PHONY: test test-fast lint bench bench-json bench-check fleet-bench obs-bench trace-demo docs-check quickstart pipeline fleet serve all
 
 all: test docs-check
 
@@ -38,6 +38,12 @@ bench:
 # wall-clock under both engines, boot/cache counters).
 bench-json:
 	$(PYTHON) tools/bench_json.py
+
+# Warm-throughput drift check against the committed BENCH_launch.json.
+# Advisory by default (absolute numbers are machine-dependent); set
+# BENCH_GUARD=1 to fail on any >20% per-system/engine regression.
+bench-check:
+	$(PYTHON) tools/bench_json.py --check
 
 # Fleet-scale config-checking benchmark only: configs/sec, executor
 # speedup over serial, compiled-checker cache hit rate.

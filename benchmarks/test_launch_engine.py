@@ -1,13 +1,14 @@
 """Launch-engine benchmark: closure compilation + warm-boot snapshots.
 
 The acceptance bar for the compile-and-replay engine: a *cold*
-(launch-cache-empty) 7-system campaign must run at >= 3x the launch
+(launch-cache-empty) 8-system campaign must run at >= 3x the launch
 throughput of the tree-walking baseline (the seed's engine: tree
 dispatch, no snapshots), while producing bit-identical verdicts and
 `Vulnerability` sets.  Inference is pre-warmed and shared so both
 sweeps time the injection loop, not SPEX.
 """
 
+import pickle
 import time
 
 import pytest
@@ -15,9 +16,11 @@ import pytest
 from conftest import emit
 
 from repro.inject.campaign import Campaign
+from repro.inject.harness import InjectionHarness
 from repro.pipeline.cache import PipelineCaches, SnapshotCache
 from repro.runtime.interpreter import InterpreterOptions
-from repro.systems.registry import iter_systems
+from repro.runtime.snapshot import BootSnapshot
+from repro.systems.registry import get_system, iter_systems
 
 # The harness's default budgets, pinned so both engines run identical
 # interpreter options apart from the engine/warm-boot knobs.
@@ -30,6 +33,10 @@ TREE_BASELINE = InterpreterOptions(
 
 SPEEDUP_FLOOR = 3.0
 
+# The codegen engine + zero-copy restore must at least double the
+# closure engine's seed-era warm throughput on the slowest system.
+WARM_SPEEDUP_FLOOR = 2.0
+
 
 @pytest.fixture(scope="module")
 def inference():
@@ -40,7 +47,7 @@ def inference():
 
 
 def _sweep(inference, harness_options=None, snapshot_cache=None):
-    """One cold 7-system campaign sweep; launch caches stay empty so
+    """One cold 8-system campaign sweep; launch caches stay empty so
     every single launch is really executed."""
     duration = 0.0
     verdict_streams = {}
@@ -94,7 +101,7 @@ def test_cold_campaign_3x_throughput_with_identical_results(inference):
     speedup = new_throughput / tree_throughput
     stats = snapshot_cache.boot_stats
     emit(
-        "Launch engine, cold 7-system campaign "
+        "Launch engine, cold 8-system campaign "
         f"({tree_mis} misconfigurations):\n"
         f"  tree baseline      {tree_time:6.2f}s  "
         f"{tree_throughput:7.1f} misconfigs/s\n"
@@ -107,6 +114,69 @@ def test_cold_campaign_3x_throughput_with_identical_results(inference):
     assert speedup >= SPEEDUP_FLOOR, (
         f"compiled launch engine is only {speedup:.2f}x the tree "
         f"baseline (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+class _LegacySnapshot(BootSnapshot):
+    """The seed's resume path, replicated byte-for-byte: one full
+    `pickle.loads` of the boot blob per resume, `global_types` rebuilt
+    from the program.  PR 9 replaced this with the fixup-scanned
+    copy-on-write restore; this subclass keeps the old cost measurable
+    so the warm-floor comparison stays honest on any machine."""
+
+    def materialize(self, program):
+        state = pickle.loads(self.blob)
+        state["global_types"] = {
+            name: decl.type for name, decl in program.globals.items()
+        }
+        return state
+
+
+def _launch_pass(harness, system):
+    """One startup launch plus every functional test."""
+    harness.launch(system.default_config)
+    for test in system.tests:
+        harness.launch(system.default_config, test.requests)
+    return 1 + len(system.tests)
+
+
+def _warm_throughput(system, engine, legacy_restore=False, passes=25):
+    harness = InjectionHarness(system, engine=engine)
+    _launch_pass(harness, system)  # probe: learns the boot boundary
+    _launch_pass(harness, system)  # capture: takes the snapshot
+    if legacy_restore:
+        argv = [system.name, system.config_path]
+        record, _, _ = harness._boot_record(system.default_config, argv)
+        record.snapshot = _LegacySnapshot(
+            boundary=record.snapshot.boundary,
+            blob=record.snapshot.to_blob(),
+        )
+    launches = 0
+    started = time.perf_counter()
+    for _ in range(passes):
+        launches += _launch_pass(harness, system)
+    return launches / (time.perf_counter() - started)
+
+
+def test_codegen_doubles_the_warm_launch_floor():
+    """storage_a is the fleet's warm-throughput floor (its boot bundle
+    is array-heavy, so the seed's per-resume `pickle.loads` dominated
+    every warm launch).  The codegen engine riding the zero-copy
+    restore must clear 2x the closure engine's seed-era warm
+    throughput on it, measured head-to-head in this process."""
+    system = get_system("storage_a")
+    legacy = _warm_throughput(system, "compiled", legacy_restore=True)
+    codegen = _warm_throughput(system, "codegen")
+    speedup = codegen / legacy
+    emit(
+        "Warm launch floor (storage_a):\n"
+        f"  closure + pickle restore (seed)  {legacy:7.1f} launches/s\n"
+        f"  codegen + zero-copy restore      {codegen:7.1f} launches/s\n"
+        f"  speedup {speedup:.2f}x (floor {WARM_SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"codegen warm launches are only {speedup:.2f}x the closure "
+        f"engine's seed-era throughput (floor {WARM_SPEEDUP_FLOOR}x)"
     )
 
 

@@ -507,7 +507,7 @@ class _FunctionAnalysis:
         targets = self._ptr_targets(inst.base)
         if targets:
             union: LabelMap = {}
-            for scope, name, path in targets:
+            for scope, name, path in sorted(targets):
                 merge_labels(union, self._loc_labels(scope, name, path + inst.path))
             self._set_temp(inst.dest, union)
             if len(targets) == 1:
@@ -539,8 +539,11 @@ class _FunctionAnalysis:
                 )
             self._write_loc(scope, inst.base.name, inst.path, labels, extra_hops=1)
             return
+        # Pointer-target sets are hash-ordered; iterate them sorted so
+        # event/write order (and the hop counts it feeds) never depends
+        # on the process's hash seed (docs/ARCHITECTURE.md, drift note).
         targets = self._ptr_targets(inst.base)
-        for scope, name, path in targets:
+        for scope, name, path in sorted(targets):
             full = path + inst.path
             target_labels = self._loc_labels(scope, name, full)
             if labels or target_labels:
@@ -569,7 +572,7 @@ class _FunctionAnalysis:
         targets = self._ptr_targets(inst.ptr)
         if targets:
             union: LabelMap = {}
-            for scope, name, path in targets:
+            for scope, name, path in sorted(targets):
                 merge_labels(union, self._loc_labels(scope, name, path))
             self._set_temp(inst.dest, union)
             if len(targets) == 1:
@@ -581,7 +584,7 @@ class _FunctionAnalysis:
         labels = self._labels_of(inst.src)
         src_info = self._operand_info(inst.src)
         targets = self._ptr_targets(inst.ptr)
-        for scope, name, path in targets:
+        for scope, name, path in sorted(targets):
             target_labels = self._loc_labels(scope, name, path)
             if labels or target_labels:
                 self._emit(
@@ -650,7 +653,7 @@ class _FunctionAnalysis:
                 ptr_args[i] = targets
                 # Labels under each pointed-to location map into the
                 # callee parameter's field space.
-                for target in targets:
+                for target in sorted(targets):
                     for suffix, labels in self._labels_under(target).items():
                         assignment.setdefault((pname, suffix), {}).update(labels)
         site = CallSiteRef(self.fn.name, block, inst.location)
@@ -663,7 +666,7 @@ class _FunctionAnalysis:
         for (pname, path), labels in summary.param_writes.items():
             for i, targets in ptr_args.items():
                 if i < len(fn_def.params) and fn_def.params[i].name == pname:
-                    for scope, name, tpath in targets:
+                    for scope, name, tpath in sorted(targets):
                         self._write_loc(scope, name, tpath + path, labels, 0)
 
     def _labels_under(self, prefix: LocKey) -> dict[tuple[str, ...], LabelMap]:
@@ -724,7 +727,7 @@ class _FunctionAnalysis:
         if not incoming:
             return
         for arg in inst.args[spec.out_args_from :]:
-            for scope, name, path in self._ptr_targets(arg):
+            for scope, name, path in sorted(self._ptr_targets(arg)):
                 self._write_loc(scope, name, path, incoming, extra_hops=0)
 
     def _visit_string_compare(self, block: str, inst: Call, arg_labels, spec) -> None:

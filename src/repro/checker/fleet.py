@@ -204,6 +204,7 @@ def run_fleet(
     spex_options: SpexOptions | None = None,
     caches=None,
     agreement_sample: int = 0,
+    engine: str | None = None,
 ) -> FleetReport:
     """Validate `size` synthetic configs per target system.
 
@@ -290,7 +291,13 @@ def run_fleet(
     if agreement_sample > 0:
         with span("fleet.agreement", sample=agreement_sample):
             agreement = ground_truth_agreement(
-                contexts, folds, seed, mistake_rate, agreement_sample, caches
+                contexts,
+                folds,
+                seed,
+                mistake_rate,
+                agreement_sample,
+                caches,
+                engine=engine,
             )
     return FleetReport(
         results=results,
@@ -402,6 +409,7 @@ def ground_truth_agreement(
     mistake_rate: float,
     sample_size: int,
     caches,
+    engine: str | None = None,
 ) -> AgreementReport:
     """Re-test a seeded sample of flagged configs under the injection
     harness.  A flag is *confirmed* when the interpreter observably
@@ -444,6 +452,7 @@ def ground_truth_agreement(
                 context.system,
                 launch_cache=caches.launches,
                 snapshot_cache=caches.snapshots,
+                engine=engine,
             )
         verdict = harness.test_misconfiguration(config.mistake)
         misbehaved = (

@@ -91,7 +91,12 @@ def _conditions_for_usage(
         if not result.module.has_function(function):
             continue
         cfg = result.cfg(function)
-        for cdep in cfg.transitive_controlling(block):
+        # Hash-ordered set: iterate sorted so the location recorded for
+        # a repeated (P, op, V) never depends on the hash seed.
+        for cdep in sorted(
+            cfg.transitive_controlling(block),
+            key=lambda d: (d.branch_block, d.edge_label),
+        ):
             event = branches.get((function, cdep.branch_block))
             if event is None:
                 continue

@@ -112,8 +112,13 @@ class Campaign:
     # Overrides the harness's interpreter options (engine selection,
     # budgets) - the launch-engine benchmarks use this to pit the
     # tree-walking baseline against the compiled engine on identical
-    # campaigns.  None keeps the harness default.
+    # campaigns.  None keeps the harness default.  Not picklable, so
+    # banned on the process-executor path - use `engine` there.
     harness_options: InterpreterOptions | None = None
+    # Launch-engine override as a plain string ("tree" | "compiled" |
+    # "codegen"); unlike `harness_options` it crosses the pickle
+    # boundary, so process-executor workers honour it too.
+    engine: str | None = None
 
     def run_spex(self) -> SpexReport:
         if self.inference_cache is None:
@@ -225,6 +230,7 @@ class Campaign:
         kwargs = {
             "launch_cache": self.launch_cache,
             "snapshot_cache": self.snapshot_cache,
+            "engine": self.engine,
         }
         if self.harness_options is not None:
             kwargs["options"] = self.harness_options
@@ -255,8 +261,25 @@ class Campaign:
                 "a customised InterpreterOptions; use the serial or "
                 "thread executor"
             )
+        # Boot snapshots the parent already captured travel to fork
+        # workers through shared memory: one segment per snapshot, a
+        # tiny manifest through the seed store.  Workers map the
+        # segments instead of receiving per-task pickles; the parent
+        # unlinks everything when the map completes.
+        from repro.runtime.snapshot import SnapshotPool
+
+        pool = SnapshotPool()
+        if self.snapshot_cache is not None:
+            for key, (boundary, blob) in sorted(
+                self.snapshot_cache.export_snapshots().items()
+            ):
+                pool.publish(key, blob, boundary)
         seed_key = _seed_batch_workers(
-            self.system.name, self.spex_options, spex_report, self.launch_cache
+            self.system.name,
+            self.spex_options,
+            spex_report,
+            self.launch_cache,
+            pool.manifest,
         )
         # Each task carries a content hash of its batch as well as its
         # index: a worker that rebuilt a *different* batch list
@@ -271,6 +294,7 @@ class Campaign:
                 index,
                 _batch_digest(batch),
                 use_launch_cache,
+                self.engine,
             )
             for index, batch in enumerate(batches)
         ]
@@ -278,6 +302,7 @@ class Campaign:
             results = executor.map(_test_batch_by_name, tasks)
         finally:
             _WORKER_SEEDS.pop(seed_key, None)
+            pool.close()
         verdict_lists: list[list[InjectionVerdict]] = [None] * len(batches)
         for index, verdicts, launch_stats, boot_stats, obs_delta in results:
             verdict_lists[index] = verdicts
@@ -389,24 +414,33 @@ def _batch_digest(batch) -> str:
 
 
 def _seed_batch_workers(
-    name: str, spex_options: SpexOptions, spex_report, launch_cache
+    name: str,
+    spex_options: SpexOptions,
+    spex_report,
+    launch_cache,
+    snapshot_manifest: dict | None = None,
 ) -> tuple[str, str]:
     key = (name, spex_options.fingerprint())
-    _WORKER_SEEDS[key] = (spex_report, launch_cache)
+    _WORKER_SEEDS[key] = (spex_report, launch_cache, snapshot_manifest)
     return key
 
 
 def _worker_context(
-    name: str, spex_options: SpexOptions, use_launch_cache: bool
+    name: str,
+    spex_options: SpexOptions,
+    use_launch_cache: bool,
+    engine: str | None = None,
 ):
     from repro.pipeline.cache import LaunchCache
     from repro.systems.registry import get_system
 
-    key = (name, spex_options.fingerprint(), use_launch_cache)
+    key = (name, spex_options.fingerprint(), use_launch_cache, engine)
     context = _WORKER_CONTEXTS.get(key)
     if context is None:
         seed = _WORKER_SEEDS.get(key[:2])
-        spex_report, launch_cache = seed if seed else (None, None)
+        spex_report, launch_cache, manifest = (
+            seed if seed else (None, None, None)
+        )
         campaign = Campaign(get_system(name), spex_options=spex_options)
         if spex_report is None:
             spex_report = campaign.run_spex()
@@ -417,10 +451,31 @@ def _worker_context(
             # timing measurements); workers must honour that.
             launch_cache = None
         batches, template = campaign.generate(spex_report)
-        harness = InjectionHarness(campaign.system, launch_cache=launch_cache)
+        harness = InjectionHarness(
+            campaign.system,
+            launch_cache=launch_cache,
+            snapshot_cache=_pooled_snapshot_cache(manifest),
+            engine=engine,
+        )
         context = (harness, batches, template)
         _WORKER_CONTEXTS[key] = context
     return context
+
+
+def _pooled_snapshot_cache(manifest: dict | None):
+    """A worker-private `SnapshotCache` seeded from the parent's
+    shared-memory snapshot pool (None manifest or an empty one yields
+    a plain cold cache; a vanished segment just boots cold)."""
+    from repro.pipeline.cache import SnapshotCache
+    from repro.runtime.snapshot import SnapshotPool
+
+    cache = SnapshotCache()
+    if manifest:
+        for cache_key, entry in manifest.items():
+            blob = SnapshotPool.fetch(entry)
+            if blob is not None:
+                cache.preload_snapshot(cache_key, entry[2], blob)
+    return cache
 
 
 def _test_batch_by_name(task):
@@ -434,9 +489,9 @@ def _test_batch_by_name(task):
     parent registry exactly like the cache deltas fold into
     `CacheStats`.
     """
-    name, spex_options, batch_index, digest, use_launch_cache = task
+    name, spex_options, batch_index, digest, use_launch_cache, engine = task
     harness, batches, template = _worker_context(
-        name, spex_options, use_launch_cache
+        name, spex_options, use_launch_cache, engine
     )
     batch = batches[batch_index]
     if _batch_digest(batch) != digest:

@@ -9,7 +9,7 @@ the injected parameter by name, value, or config-file line.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from typing import TYPE_CHECKING
 
@@ -60,6 +60,13 @@ class InjectionHarness:
     )
     stop_at_first_failure: bool = True
     sort_shortest_first: bool = True
+    # Launch-engine override ("tree" | "compiled" | "codegen").  When
+    # set, `options` is replaced post-init with a copy carrying this
+    # engine, so the knob travels through the options fingerprint and
+    # every cache key automatically.  A picklable string (unlike a
+    # whole `InterpreterOptions`), so `Campaign`/process executors can
+    # forward it to workers.
+    engine: str | None = None
     # When set, launches are served content-addressed: identical
     # (system, config text, requests, interpreter options) share one
     # interpreter run.  Launches are pure, so caching is transparent.
@@ -84,6 +91,10 @@ class InjectionHarness:
     _boundary_hint: BoundaryHint = field(
         default_factory=BoundaryHint, init=False, repr=False
     )
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine != self.options.engine:
+            self.options = replace(self.options, engine=self.engine)
 
     # -- low-level runs ------------------------------------------------------
 

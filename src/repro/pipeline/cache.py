@@ -39,7 +39,12 @@ from typing import Callable, Generic, TypeVar
 
 from repro.core.engine import SpexOptions, SpexReport
 from repro.obs.metrics import get_registry
-from repro.runtime.snapshot import BootRecord, BootStats, BoundaryHint
+from repro.runtime.snapshot import (
+    BootRecord,
+    BootSnapshot,
+    BootStats,
+    BoundaryHint,
+)
 
 T = TypeVar("T")
 
@@ -361,6 +366,36 @@ class SnapshotCache(ContentCache[BootRecord]):
         """Fold a worker process's snapshot-engine counters in."""
         with self._lock:
             self.boot_stats.absorb(delta)
+
+    def export_snapshots(self) -> dict[str, tuple[int, bytes]]:
+        """Every resumable record as (boundary, transport blob), keyed
+        like the records - the shared-memory `SnapshotPool`'s feed.
+        Records whose bundle does not pickle are skipped (workers boot
+        those configs cold, exactly as they would have without a pool).
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        out: dict[str, tuple[int, bytes]] = {}
+        for key, record in entries:
+            snapshot = record.snapshot
+            if snapshot is None:
+                continue
+            blob = snapshot.to_blob()
+            if blob is not None:
+                out[key] = (snapshot.boundary, blob)
+        return out
+
+    def preload_snapshot(self, key: str, boundary: int, blob: bytes) -> None:
+        """Plant a ready-to-resume record fetched from a snapshot pool
+        (worker side; an existing record wins - it is at least as
+        warm)."""
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = BootRecord(
+                    probed=True,
+                    boundary=boundary,
+                    snapshot=BootSnapshot(boundary=boundary, blob=blob),
+                )
 
 
 def checker_fingerprint(

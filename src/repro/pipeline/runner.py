@@ -128,10 +128,12 @@ class PipelineReport:
         }
 
 
-def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
+def _run_campaign_by_name(
+    task: tuple[str, SpexOptions, str, int | None, str | None]
+):
     """Process-pool entry point: rebuild the system in the worker (the
     task crosses a pickle boundary, the `SubjectSystem` does not)."""
-    name, spex_options, batch_executor, max_workers = task
+    name, spex_options, batch_executor, max_workers, engine = task
     started = time.perf_counter()
     # Worker processes never nest another process pool: batch-level
     # "process" sharding degrades to serial inside a system-level
@@ -148,6 +150,7 @@ def _run_campaign_by_name(task: tuple[str, SpexOptions, str, int | None]):
         max_workers=max_workers,
         launch_cache=launch_cache,
         snapshot_cache=snapshot_cache,
+        engine=engine,
     )
     report = campaign.run()
     slim_verdicts(report.verdicts)
@@ -187,6 +190,10 @@ class CampaignPipeline:
     # never nest) and under a thread system executor (forking from a
     # multithreaded parent is unsafe).
     batch_executor: str | Executor | None = None
+    # Launch-engine override for every campaign of the sweep ("tree" |
+    # "compiled" | "codegen"); a plain string, so it survives the
+    # process-executor pickle boundary.  None keeps the default.
+    engine: str | None = None
 
     def run(
         self,
@@ -270,7 +277,13 @@ class CampaignPipeline:
             # rebuild it (with this pipeline's max_workers).
             batch_name = self._batch_executor_name()
             tasks = [
-                (name, self.spex_options, batch_name, self.max_workers)
+                (
+                    name,
+                    self.spex_options,
+                    batch_name,
+                    self.max_workers,
+                    self.engine,
+                )
                 for name in names
             ]
             out = []
@@ -325,6 +338,7 @@ class CampaignPipeline:
             max_workers=self.max_workers,
             launch_cache=self.caches.launches,
             snapshot_cache=self.caches.snapshots,
+            engine=self.engine,
         )
         report = campaign.run()
         return report, time.perf_counter() - started

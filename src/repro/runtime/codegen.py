@@ -1,0 +1,1123 @@
+"""Source-codegen launch engine - the launch engine's layer 3.
+
+The closure engine (`repro.runtime.compile`) already lowered each AST
+node into a bound Python closure, but executing a statement still pays
+one Python *frame* per node: every child evaluation is a closure call.
+This module lowers each linked :class:`~repro.lang.program.Program`
+once into real **Python source text** - one generated Python function
+per MiniC function, plus one function per top-level statement of
+`main` (the snapshot engine's stepwise runners) - compiles it once
+with `compile()`/`exec`, and memoizes the resulting plan on the
+`Program` instance.  Inside a generated function an entire MiniC
+statement is straight-line Python: the step-budget tick, the int fast
+paths and the local-variable fast paths are open-coded, so only calls,
+builtins and the genuinely polymorphic slow paths leave the frame.
+
+Parity contract: identical to the other two engines - same results,
+logs, responses, `steps` counts and step-sensitive faults, enforced
+by `tests/runtime/test_engine_parity.py`.  Where semantics are subtle
+(evaluation order, re-reads after compound assignment, signal
+propagation through loops and switches) the generated code mirrors
+`repro.runtime.compile` closure by closure; shared value-level
+helpers (`binop`, `coerce`, `_values_equal`, ...) are the very same
+module functions, reached through the generated module's namespace.
+
+Generated source is deterministic: the same program text always
+produces the same module text (constants are referenced by interned
+`_K<n>` names handed to `exec` via the namespace, numbered in
+first-encounter order).  `generate_source` exposes the text for the
+determinism tests and for human inspection.
+
+This is the only module in the tree allowed to call `exec` (the
+`tools/lint.py` exec/eval detector pins that allowlist).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    BoolLiteral,
+    Break,
+    Call,
+    CallIndirect,
+    Cast,
+    CharLiteral,
+    Conditional,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    Identifier,
+    If,
+    IncDec,
+    Index,
+    InitList,
+    IntLiteral,
+    Member,
+    NullLiteral,
+    Return,
+    SizeOf,
+    StringLiteral,
+    Switch,
+    Unary,
+    VarDecl,
+    While,
+)
+from repro.lang import types as ct
+from repro.lang.program import Program
+from repro.obs.metrics import get_registry
+from repro.runtime.builtins import REGISTRY
+from repro.runtime.compile import (
+    _MISSING,
+    _budget,
+    _globals_are_pure,
+    _incdec_fallback,
+)
+from repro.runtime.faults import SegmentationFault, StackOverflowFault
+from repro.runtime.interpreter import (
+    Frame,
+    InterpreterError,
+    _BreakSignal,
+    _ContinueSignal,
+    _int_of,
+    _ReturnSignal,
+    _StaticMarker,
+    _values_equal,
+    binop,
+    cast_value,
+    deref_value,
+    index_slot,
+    index_value,
+    sizeof_value,
+    struct_from,
+)
+from repro.runtime.values import (
+    ArrayValue,
+    ElemSlot,
+    FieldSlot,
+    FunctionRef,
+    Pointer,
+    coerce,
+    truthy,
+    zero_value,
+)
+
+_SOURCE_NAME = "<minic-codegen>"
+
+
+@dataclass
+class CodegenPlan:
+    """One program's generated-source form, shared by all launches.
+
+    Duck-type compatible with `repro.runtime.compile.LaunchPlan` where
+    the runtime layers care: `bodies` (empty - `invokes` covers every
+    defined function through `Interpreter.call_function`'s fast path),
+    `main_steps` (the snapshot engine's per-top-level-statement
+    runners), and the `globals_pure`/`globals_template` pair the
+    warm-boot engine fills.  `source` is the full generated module
+    text; `invokes` maps function name -> generated
+    ``_fn_<name>(rt, args)``.
+    """
+
+    program: Program
+    source: str
+    invokes: dict
+    bodies: dict
+    main_steps: tuple
+    globals_pure: bool = False
+    globals_template: object = None
+
+
+_PLANS_LOCK = threading.Lock()
+
+
+def codegen_plan_for(program: Program) -> CodegenPlan:
+    """The memoized codegen plan of a program (generates + compiles on
+    first use; stored on the `Program` instance like the closure
+    engine's plan, so every launch of a registered system shares one
+    codegen pass)."""
+    plan = getattr(program, "_codegen_plan", None)
+    if plan is None:
+        with _PLANS_LOCK:
+            plan = getattr(program, "_codegen_plan", None)
+            if plan is None:
+                plan = compile_codegen(program)
+                program._codegen_plan = plan
+    return plan
+
+
+def generate_source(program: Program) -> str:
+    """The generated module text alone (deterministic per program)."""
+    source, _consts, _step_names = _emit_module(program)
+    return source
+
+
+def compile_codegen(program: Program) -> CodegenPlan:
+    """Generate, `compile()` and `exec` a program's Python module."""
+    source, consts, step_names = _emit_module(program)
+    namespace = dict(_NAMESPACE)
+    namespace.update(consts)
+    code = compile(source, _SOURCE_NAME, "exec")
+    exec(code, namespace)  # the one sanctioned exec (see tools/lint.py)
+    invokes = {
+        name: namespace[f"_fn_{name}"]
+        for name, fn in program.functions.items()
+        if fn.body is not None
+    }
+    main_steps = tuple(namespace[name] for name in step_names)
+    registry = get_registry()
+    registry.inc("launch.codegen_compiles")
+    registry.inc("launch.codegen_functions", len(invokes))
+    registry.inc("launch.codegen_source_bytes", len(source))
+    return CodegenPlan(
+        program=program,
+        source=source,
+        invokes=invokes,
+        bodies={},
+        main_steps=main_steps,
+        globals_pure=_globals_are_pure(program),
+    )
+
+
+# -- runtime helpers reached from generated code ------------------------------
+#
+# Each mirrors one slow path of the closure engine verbatim; the
+# generated fast paths in front of them are open-coded.
+
+
+def _name_fb(rt, value, name, loc, is_function):
+    """Identifier-load fallback: static marker, errno, global,
+    function ref, or undefined (`_c_identifier`'s tail)."""
+    if value is not _MISSING:  # a _StaticMarker probed from the locals
+        return rt.statics[value.key]
+    if name == "errno":
+        return rt.errno
+    value = rt.globals.get(name, _MISSING)
+    if value is not _MISSING:
+        return value
+    if is_function:
+        return FunctionRef(name)
+    raise InterpreterError(f"{loc}: undefined identifier {name!r}")
+
+
+def _name_env_slot(rt, current, name, target_loc):
+    """Assignment-target resolution outside the plain-local fast path:
+    (env, key, declared type) for a static or global, None for errno.
+    Raises for an undefined name *before* the right-hand side runs,
+    exactly like `_c_assign_name`/`resolve_slot`."""
+    if current is not _MISSING:  # a _StaticMarker
+        key = current.key
+        return (rt.statics, key, rt.static_types.get(key))
+    if name == "errno":
+        return None
+    global_env = rt.globals
+    if name in global_env:
+        return (global_env, name, rt.global_types.get(name))
+    raise InterpreterError(f"{target_loc}: undefined variable {name!r}")
+
+
+def _finish_assign(rt, slot3, rhs, compound, loc):
+    """Complete a name assignment resolved by `_name_env_slot`
+    (compound re-reads the slot *after* the right-hand side ran)."""
+    if slot3 is None:  # errno
+        if compound is not None:
+            rhs = binop(compound, rt.errno, rhs, loc)
+        rt.errno = int(rhs) if isinstance(rhs, (int, float)) else 0
+        return rt.errno
+    env, key, typ = slot3
+    if compound is not None:
+        rhs = binop(compound, env[key], rhs, loc)
+    env[key] = coerce(typ, rhs)
+    return env[key]
+
+
+def _incdec_slow(rt, current, name, operand_loc, loc, delta, prefix):
+    """++/-- on a static marker or a non-local name (the closure
+    engine's marker branch plus `_incdec_fallback`)."""
+    if current is _MISSING:
+        return _incdec_fallback(rt, name, operand_loc, loc, delta, prefix)
+    key = current.key
+    env = rt.statics
+    typ = rt.static_types.get(key)
+    current = env[key]
+    if type(current) is int:
+        if typ is None:
+            env[key] = new = current + delta
+        elif type(typ) is ct.IntType:
+            env[key] = new = typ.wrap(current + delta)
+        else:
+            env[key] = new = coerce(typ, current + delta)
+        return new if prefix else current
+    if not isinstance(current, (int, float)):
+        raise SegmentationFault(f"++/-- on non-number {current!r}", loc)
+    env[key] = coerce(typ, current + delta)
+    return env[key] if prefix else current
+
+
+def _deref_slot(target, loc):
+    """`slot()`'s dereference arm: `*expr` as an assignment target."""
+    if target is None:
+        raise SegmentationFault("NULL pointer dereference", loc)
+    if isinstance(target, Pointer):
+        return target.slot
+    if isinstance(target, ArrayValue):
+        return ElemSlot(target, 0)
+    raise SegmentationFault(f"dereferencing non-pointer {target!r}", loc)
+
+
+def _not_assignable(loc):
+    raise InterpreterError(f"{loc}: expression is not assignable")
+
+
+def _neg(value, loc):
+    if isinstance(value, (int, float)):
+        return -value
+    raise SegmentationFault(f"negating non-number {value!r}", loc)
+
+
+def _indirect_target(target, loc):
+    """CallIndirect's target checks, before argument evaluation."""
+    if target is None:
+        raise SegmentationFault("call through NULL function pointer", loc)
+    if not isinstance(target, FunctionRef):
+        raise SegmentationFault(
+            f"call through non-function value {target!r}", loc
+        )
+    return target.name
+
+
+def _call_builtin(rt, callee, args, loc):
+    """Late-bound builtin dispatch with the tree-walker's full
+    resolution as the miss path (exact error behaviour)."""
+    builtin = REGISTRY.get(callee)
+    if builtin is not None:
+        return builtin(rt, args, loc)
+    return rt._call_builtin_or_user(callee, args, loc)
+
+
+def _bind_args(local_env, local_types, params, args):
+    """Generic parameter fill (arity mismatch path of the invoke
+    protocol): missing arguments become the parameter type's zero."""
+    nargs = len(args)
+    for i, (pname, ptype) in enumerate(params):
+        value = args[i] if i < nargs else zero_value(ptype)
+        local_env[pname] = coerce(ptype, value)
+        local_types[pname] = ptype
+
+
+def _unhandled_stmt(kind):
+    raise InterpreterError(f"unhandled statement {kind}")
+
+
+def _unhandled_expr(kind):
+    raise InterpreterError(f"unhandled expression {kind}")
+
+
+def _unhandled_unary(op):
+    raise InterpreterError(f"unhandled unary {op}")
+
+
+#: Names every generated module can see.  Value-level semantics stay
+#: shared with the other engines - these are the interpreter module's
+#: own functions, not re-implementations.
+_NAMESPACE = {
+    "_M": _MISSING,
+    "_SM": _StaticMarker,
+    "Frame": Frame,
+    "FunctionRef": FunctionRef,
+    "Pointer": Pointer,
+    "ArrayValue": ArrayValue,
+    "IntType": ct.IntType,
+    "FieldSlot": FieldSlot,
+    "coerce": coerce,
+    "truthy": truthy,
+    "zero_value": zero_value,
+    "binop": binop,
+    "deref_value": deref_value,
+    "index_value": index_value,
+    "index_slot": index_slot,
+    "cast_value": cast_value,
+    "struct_from": struct_from,
+    "_values_equal": _values_equal,
+    "_int_of": _int_of,
+    "StackOverflowFault": StackOverflowFault,
+    "SegmentationFault": SegmentationFault,
+    "_BreakSignal": _BreakSignal,
+    "_ContinueSignal": _ContinueSignal,
+    "_ReturnSignal": _ReturnSignal,
+    "_budget": _budget,
+    "_name_fb": _name_fb,
+    "_name_env_slot": _name_env_slot,
+    "_finish_assign": _finish_assign,
+    "_incdec_slow": _incdec_slow,
+    "_deref_slot": _deref_slot,
+    "_not_assignable": _not_assignable,
+    "_neg": _neg,
+    "_indirect_target": _indirect_target,
+    "_call_builtin": _call_builtin,
+    "_bind_args": _bind_args,
+    "_unhandled_stmt": _unhandled_stmt,
+    "_unhandled_expr": _unhandled_expr,
+    "_unhandled_unary": _unhandled_unary,
+}
+
+
+# -- source emission ----------------------------------------------------------
+
+
+def _emit_module(program: Program) -> tuple[str, dict, list[str]]:
+    """Generate the whole module: one `_fn_<name>` per defined
+    function, plus `_m<i>` per top-level statement of main (the
+    snapshot engine's stepwise runners).  Returns (source text,
+    interned constant pool, step function names)."""
+    emitter = _ModuleEmitter(program)
+    out: list[str] = [
+        "# generated by repro.runtime.codegen - do not edit",
+    ]
+    for name, fn in program.functions.items():
+        if fn.body is None:
+            continue
+        out.append("")
+        out.extend(emitter.emit_invoke(fn))
+    step_names: list[str] = []
+    if program.has_function("main"):
+        main = program.function("main")
+        if main.body is not None:
+            for index, stmt in enumerate(main.body.statements):
+                name = f"_m{index}"
+                out.append("")
+                out.extend(emitter.emit_step(name, stmt))
+                step_names.append(name)
+    return "\n".join(out) + "\n", emitter.consts, step_names
+
+
+class _ModuleEmitter:
+    """Shared per-program emission state: the interned constant pool
+    (Locations, CTypes, AST nodes, static keys/markers, zero values)
+    referenced from generated code as `_K<n>`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.consts: dict[str, object] = {}
+        self._const_ids: dict[int, str] = {}
+
+    def const(self, obj) -> str:
+        name = self._const_ids.get(id(obj))
+        if name is None:
+            name = f"_K{len(self.consts)}"
+            self._const_ids[id(obj)] = name
+            self.consts[name] = obj
+        return name
+
+    def emit_invoke(self, fn) -> list[str]:
+        return _FunctionEmitter(self, fn, mode="invoke").emit()
+
+    def emit_step(self, name: str, stmt) -> list[str]:
+        return _FunctionEmitter(
+            self, self.program.function("main"), mode="step"
+        ).emit_step(name, stmt)
+
+
+class _FunctionEmitter:
+    """Lowers one MiniC function (or one top-level statement of main)
+    into Python source lines.
+
+    `value()` returns a Python expression string plus a purity flag;
+    an impure expression may be evaluated at most once, immediately
+    after the lines emitted for it.  Parents that need an operand
+    early (evaluation order) or more than once (fast-path type tests)
+    hoist it into a `_t<n>` temporary via `atom()`.
+    """
+
+    def __init__(self, module: _ModuleEmitter, fn, mode: str):
+        self.module = module
+        self.program = module.program
+        self.fn = fn
+        self.mode = mode  # "invoke" | "step"
+        self.out: list[str] = []
+        self.ctx: list[str] = []  # "while" | "postloop" | "switch"
+        self._temps = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def const(self, obj) -> str:
+        return self.module.const(obj)
+
+    def w(self, ind: int, text: str) -> None:
+        self.out.append("    " * ind + text)
+
+    def temp(self) -> str:
+        self._temps += 1
+        return f"_t{self._temps}"
+
+    def hoist(self, ind: int, expr: str) -> str:
+        name = self.temp()
+        self.w(ind, f"{name} = {expr}")
+        return name
+
+    def tick(self, ind: int) -> None:
+        self.w(ind, "rt.steps = _s = rt.steps + 1")
+        self.w(ind, "if _s > rt._max_steps: _budget(rt)")
+
+    def _buffered(self, fn) -> tuple[list[str], object]:
+        """Run `fn` with emission redirected to a buffer."""
+        saved = self.out
+        self.out = []
+        try:
+            result = fn()
+            return self.out, result
+        finally:
+            self.out = saved
+
+    # -- function shells -----------------------------------------------------
+
+    def emit(self) -> list[str]:
+        fn = self.fn
+        fname = fn.name
+        rtype = fn.return_type
+        params = tuple((p.name, p.type) for p in fn.params)
+        self.w(0, f"def _fn_{fname}(rt, args):")
+        self.w(1, "frames = rt.frames")
+        self.w(1, "if len(frames) >= rt._max_call_depth:")
+        self.w(
+            2,
+            f"raise StackOverflowFault({f'call depth exceeded in {fname}'!r},"
+            f" {self.const(fn.location)})",
+        )
+        self.w(1, f"frame = Frame(function={fname!r})")
+        self.w(1, "L = frame.locals")
+        self.w(1, "T = frame.local_types")
+        if params:
+            self.w(1, f"if len(args) == {len(params)}:")
+            for i, (pname, ptype) in enumerate(params):
+                kt = self.const(ptype)
+                self.w(2, f"L[{pname!r}] = coerce({kt}, args[{i}])")
+                self.w(2, f"T[{pname!r}] = {kt}")
+            self.w(1, "else:")
+            self.w(2, f"_bind_args(L, T, {self.const(params)}, args)")
+        if fn.variadic:
+            self.w(1, f"L['__varargs'] = list(args[{len(params)}:])")
+        self.w(1, "frames.append(frame)")
+        self.w(1, "try:")
+        self.w(2, "try:")
+        for stmt in fn.body.statements:
+            self.stmt(stmt, 3)
+        self.w(3, self._zero_return(rtype))
+        self.w(2, "except _ReturnSignal as _ret:")
+        self.w(3, f"return coerce({self.const(rtype)}, _ret.value)")
+        self.w(1, "finally:")
+        self.w(2, "frames.pop()")
+        return self.out
+
+    def _zero_return(self, rtype) -> str:
+        # Array zeros are fresh mutable objects per return; every other
+        # return type's zero is an immutable interned constant.
+        if isinstance(rtype, ct.ArrayType):
+            return f"return zero_value({self.const(rtype)})"
+        return f"return {self.const(zero_value(rtype))}"
+
+    def emit_step(self, name: str, stmt) -> list[str]:
+        self.w(0, f"def {name}(rt):")
+        self.w(1, "frame = rt.frames[-1]")
+        self.w(1, "L = frame.locals")
+        self.w(1, "T = frame.local_types")
+        self.stmt(stmt, 1)
+        return self.out
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, node, ind: int) -> None:
+        method = self._STMT.get(type(node))
+        if method is None:
+            # Mirror the closure engine: unknown nodes fail when (and
+            # only when) executed, with the same message and no tick.
+            self.w(ind, f"_unhandled_stmt({type(node).__name__!r})")
+            return
+        method(self, node, ind)
+
+    def _s_expr_stmt(self, node: ExprStmt, ind: int) -> None:
+        self.tick(ind)
+        expr, pure = self.value(node.expr, ind)
+        if not pure:
+            self.w(ind, expr)
+
+    def _s_var_decl(self, node: VarDecl, ind: int) -> None:
+        self.tick(ind)
+        name, typ, init = node.name, node.type, node.init
+        kt = self.const(typ)
+        if node.is_static:
+            key = (self.fn.name if self.mode == "invoke" else "main", name)
+            kk = self.const(key)
+            self.w(ind, f"if {kk} not in rt.statics:")
+            self.w(ind + 1, f"rt.static_types[{kk}] = {kt}")
+            value = self._decl_value(typ, kt, init, ind + 1)
+            self.w(ind + 1, f"rt.statics[{kk}] = {value}")
+            self.w(ind, f"T[{name!r}] = {kt}")
+            self.w(ind, f"L[{name!r}] = {self.const(_StaticMarker(key))}")
+            return
+        self.w(ind, f"T[{name!r}] = {kt}")
+        value = self._decl_value(typ, kt, init, ind)
+        self.w(ind, f"L[{name!r}] = {value}")
+
+    def _decl_value(self, typ, kt: str, init, ind: int) -> str:
+        if init is None:
+            return f"rt._zero_for({kt})"
+        if isinstance(init, InitList):
+            # Brace initializers reuse the interpreter's materializer,
+            # exactly like the closure engine.
+            return f"rt._materialize({kt}, {self.const(init)})"
+        expr, _pure = self.value(init, ind)
+        return f"coerce({kt}, {expr})"
+
+    def _s_block(self, node: Block, ind: int) -> None:
+        self.tick(ind)
+        for stmt in node.statements:
+            self.stmt(stmt, ind)
+
+    def _s_if(self, node: If, ind: int) -> None:
+        self.tick(ind)
+        cond = self.atom(node.cond, ind)
+        self.w(ind, f"if ({cond} != 0) if type({cond}) is int else truthy({cond}):")
+        self.stmt(node.then, ind + 1)
+        if node.other is not None:
+            self.w(ind, "else:")
+            self.stmt(node.other, ind + 1)
+
+    def _s_while(self, node: While, ind: int) -> None:
+        self.tick(ind)
+        self.w(ind, "while True:")
+        self.tick(ind + 1)
+        cond = self.atom(node.cond, ind + 1)
+        self.w(
+            ind + 1,
+            f"if not (({cond} != 0) if type({cond}) is int else truthy({cond})):",
+        )
+        self.w(ind + 2, "break")
+        self._loop_body(node.body, ind + 1, "while")
+
+    def _s_do_while(self, node: DoWhile, ind: int) -> None:
+        self.tick(ind)
+        self.w(ind, "while True:")
+        self.tick(ind + 1)
+        self._loop_body(node.body, ind + 1, "postloop")
+        cond = self.atom(node.cond, ind + 1)
+        self.w(
+            ind + 1,
+            f"if not (({cond} != 0) if type({cond}) is int else truthy({cond})):",
+        )
+        self.w(ind + 2, "break")
+
+    def _s_for(self, node: For, ind: int) -> None:
+        self.tick(ind)
+        if node.init is not None:
+            self.stmt(node.init, ind)
+        self.w(ind, "while True:")
+        self.tick(ind + 1)
+        if node.cond is not None:
+            cond = self.atom(node.cond, ind + 1)
+            self.w(
+                ind + 1,
+                f"if not (({cond} != 0) if type({cond}) is int"
+                f" else truthy({cond})):",
+            )
+            self.w(ind + 2, "break")
+        self._loop_body(node.body, ind + 1, "postloop")
+        if node.step is not None:
+            expr, pure = self.value(node.step, ind + 1)
+            if not pure:
+                self.w(ind + 1, expr)
+
+    def _loop_body(self, body, ind: int, ctx: str) -> None:
+        """One loop body, always signal-fenced: `_BreakSignal` and
+        `_ContinueSignal` can arrive through a *called* function (a
+        stray `break` outside any loop propagates to the caller in
+        every engine), so syntactic absence of break/continue in this
+        body is not enough to drop the try."""
+        self.w(ind, "try:")
+        self.ctx.append(ctx)
+        try:
+            self.stmt(body, ind + 1)
+        finally:
+            self.ctx.pop()
+        self.w(ind, "except _BreakSignal:")
+        self.w(ind + 1, "break")
+        self.w(ind, "except _ContinueSignal:")
+        if ctx == "while":
+            self.w(ind + 1, "continue")
+        else:  # for / do-while: fall through to the advance / cond
+            self.w(ind + 1, "pass")
+
+    def _s_switch(self, node: Switch, ind: int) -> None:
+        self.tick(ind)
+        subject = self.atom(node.subject, ind)
+        arms = node.cases
+        default = -1
+        for i, case in enumerate(arms):
+            if case.value is None:
+                default = i
+        sel = self.temp()
+        case_arms = [
+            (i, case) for i, case in enumerate(arms) if case.value is not None
+        ]
+        if case_arms:
+            # Sequential value probing, exactly like the closure
+            # engine's scan: each case value is evaluated in order
+            # until one matches; default arms are compile-time facts.
+            self.w(ind, "while True:")
+            for i, case in case_arms:
+                expr, _pure = self.value(case.value, ind + 1)
+                self.w(ind + 1, f"if _values_equal({subject}, {expr}):")
+                self.w(ind + 2, f"{sel} = {i}")
+                self.w(ind + 2, "break")
+            self.w(ind + 1, f"{sel} = {default}")
+            self.w(ind + 1, "break")
+        else:
+            self.w(ind, f"{sel} = {default}")
+        self.w(ind, f"if {sel} >= 0:")
+        self.w(ind + 1, "try:")
+        self.w(ind + 2, "while True:")
+        self.ctx.append("switch")
+        try:
+            for i, case in enumerate(arms):
+                self.w(ind + 3, f"if {sel} <= {i}:")
+                if case.body:
+                    for stmt in case.body:
+                        self.stmt(stmt, ind + 4)
+                else:
+                    self.w(ind + 4, "pass")
+        finally:
+            self.ctx.pop()
+        self.w(ind + 3, "break")
+        self.w(ind + 1, "except _BreakSignal:")
+        self.w(ind + 2, "pass")
+
+    def _s_break(self, node: Break, ind: int) -> None:
+        self.tick(ind)
+        if self.ctx:
+            self.w(ind, "break")
+        else:
+            self.w(ind, "raise _BreakSignal()")
+
+    def _s_continue(self, node: Continue, ind: int) -> None:
+        self.tick(ind)
+        if not self.ctx or self.ctx[-1] != "while":
+            # Inside a for/do-while body the advance/condition code
+            # sits *after* the body: a Python `continue` would skip
+            # it, and inside a switch it would re-run the dispatch
+            # loop.  The signal unwinds to the right handler.
+            self.w(ind, "raise _ContinueSignal()")
+        else:
+            self.w(ind, "continue")
+
+    def _s_return(self, node: Return, ind: int) -> None:
+        self.tick(ind)
+        if node.value is None:
+            expr = "None"
+        else:
+            expr, _pure = self.value(node.value, ind)
+        if self.mode == "invoke":
+            # The invoke protocol coerces through the return type; a
+            # bare `return;` yields coerce(rtype, None) - deliberately
+            # not the zero constant (coerce(int, None) is None).
+            self.w(ind, f"return coerce({self.const(self.fn.return_type)}, {expr})")
+        else:
+            self.w(ind, f"raise _ReturnSignal({expr})")
+
+    # -- expressions ---------------------------------------------------------
+
+    def value(self, node, ind: int) -> tuple[str, bool]:
+        method = self._EXPR.get(type(node))
+        if method is None:
+            return f"_unhandled_expr({type(node).__name__!r})", False
+        return method(self, node, ind)
+
+    def atom(self, node, ind: int) -> str:
+        expr, pure = self.value(node, ind)
+        if pure:
+            return expr
+        return self.hoist(ind, expr)
+
+    def seq(self, nodes, ind: int) -> list[str]:
+        """Left-to-right evaluation of sibling operands: any operand
+        followed by one that needs statements is hoisted so its side
+        effects land first."""
+        buffered = []
+        for node in nodes:
+            lines, result = self._buffered(lambda n=node: self.value(n, ind))
+            buffered.append((lines, result))
+        exprs = []
+        for i, (lines, (expr, pure)) in enumerate(buffered):
+            self.out.extend(lines)
+            if not pure and any(later_lines for later_lines, _ in buffered[i + 1:]):
+                expr = self.hoist(ind, expr)
+            exprs.append(expr)
+        return exprs
+
+    def _e_literal(self, node, ind: int) -> tuple[str, bool]:
+        text = repr(node.value)
+        if text.startswith("-"):
+            text = f"({text})"
+        return text, True
+
+    def _e_bool(self, node: BoolLiteral, ind: int) -> tuple[str, bool]:
+        return ("1" if node.value else "0"), True
+
+    def _e_null(self, node: NullLiteral, ind: int) -> tuple[str, bool]:
+        return "None", True
+
+    def _e_identifier(self, node: Identifier, ind: int) -> tuple[str, bool]:
+        name = node.name
+        is_function = (
+            self.program.has_function(name) or name in self.program.prototypes
+        )
+        probe = self.temp()
+        kloc = self.const(node.location)
+        return (
+            f"({probe} if type({probe} := L.get({name!r}, _M)) is not _SM"
+            f" and {probe} is not _M"
+            f" else _name_fb(rt, {probe}, {name!r}, {kloc}, {is_function}))",
+            False,
+        )
+
+    def _e_unary(self, node: Unary, ind: int) -> tuple[str, bool]:
+        op = node.op
+        kloc = self.const(node.location)
+        if op == "&":
+            slot_expr = self.slot(node.operand, ind)
+            return f"Pointer({slot_expr})", False
+        if op == "*":
+            expr, _pure = self.value(node.operand, ind)
+            return f"deref_value({expr}, {kloc})", False
+        if op == "!":
+            expr, _pure = self.value(node.operand, ind)
+            return f"(0 if truthy({expr}) else 1)", False
+        if op == "-":
+            expr, _pure = self.value(node.operand, ind)
+            return f"_neg({expr}, {kloc})", False
+        if op == "~":
+            expr, _pure = self.value(node.operand, ind)
+            return f"~_int_of({expr}, {kloc})", False
+        # Unknown operator: raise on evaluation, operand unevaluated.
+        return f"_unhandled_unary({op!r})", False
+
+    def _e_incdec(self, node: IncDec, ind: int) -> tuple[str, bool]:
+        loc = node.location
+        kloc = self.const(loc)
+        delta = 1 if node.op == "++" else -1
+        prefix = node.prefix
+        step = f"+ {delta}" if delta > 0 else "- 1"
+        result = self.temp()
+        if isinstance(node.operand, Identifier):
+            name = node.operand.name
+            cur = self.temp()
+            self.w(ind, f"{cur} = L.get({name!r}, _M)")
+            self.w(ind, f"if {cur} is not _M and type({cur}) is not _SM:")
+            self.w(ind + 1, f"if type({cur}) is int:")
+            ty = self.temp()
+            new = self.temp()
+            self.w(ind + 2, f"{ty} = T.get({name!r})")
+            self.w(ind + 2, f"if {ty} is None:")
+            self.w(ind + 3, f"{new} = {cur} {step}")
+            self.w(ind + 2, f"elif type({ty}) is IntType:")
+            self.w(ind + 3, f"{new} = {ty}.wrap({cur} {step})")
+            self.w(ind + 2, "else:")
+            self.w(ind + 3, f"{new} = coerce({ty}, {cur} {step})")
+            self.w(ind + 2, f"L[{name!r}] = {new}")
+            self.w(ind + 2, f"{result} = {new if prefix else cur}")
+            self.w(ind + 1, f"elif isinstance({cur}, (int, float)):")
+            self.w(
+                ind + 2,
+                f"L[{name!r}] = {new} = coerce(T.get({name!r}), {cur} {step})",
+            )
+            self.w(ind + 2, f"{result} = {new if prefix else cur}")
+            self.w(ind + 1, "else:")
+            self.w(
+                ind + 2,
+                "raise SegmentationFault(f'++/-- on non-number "
+                f"{{{cur}!r}}', {kloc})",
+            )
+            self.w(ind, "else:")
+            self.w(
+                ind + 1,
+                f"{result} = _incdec_slow(rt, {cur}, {name!r},"
+                f" {self.const(node.operand.location)}, {kloc},"
+                f" {delta}, {prefix})",
+            )
+            return result, True
+        slot = self.hoist(ind, self.slot(node.operand, ind))
+        old = self.temp()
+        self.w(ind, f"{old} = {slot}.get({kloc})")
+        self.w(ind, f"if not isinstance({old}, (int, float)):")
+        self.w(
+            ind + 1,
+            f"raise SegmentationFault(f'++/-- on non-number {{{old}!r}}',"
+            f" {kloc})",
+        )
+        self.w(ind, f"{slot}.set({old} {step}, {kloc})")
+        if prefix:
+            self.w(ind, f"{result} = {slot}.get({kloc})")
+        else:
+            self.w(ind, f"{result} = {old}")
+        return result, True
+
+    def _e_binary(self, node: Binary, ind: int) -> tuple[str, bool]:
+        op = node.op
+        kloc = self.const(node.location)
+        if op in ("&&", "||"):
+            return self._e_logical(node, op, ind)
+        if op in ("==", "!="):
+            left, right = self.seq((node.left, node.right), ind)
+            yes, no = ("1", "0") if op == "==" else ("0", "1")
+            return (
+                f"({yes} if _values_equal({left}, {right}) else {no})",
+                False,
+            )
+        if op in ("+", "-"):
+            left = self.atom(node.left, ind)
+            right = self.atom(node.right, ind)
+            return (
+                f"(({left} {op} {right}) if type({left}) is int"
+                f" and type({right}) is int"
+                f" else binop({op!r}, {left}, {right}, {kloc}))",
+                False,
+            )
+        if op in ("<", ">", "<=", ">="):
+            left = self.atom(node.left, ind)
+            right = self.atom(node.right, ind)
+            return (
+                f"((1 if {left} {op} {right} else 0) if type({left}) is int"
+                f" and type({right}) is int"
+                f" else binop({op!r}, {left}, {right}, {kloc}))",
+                False,
+            )
+        left, right = self.seq((node.left, node.right), ind)
+        return f"binop({op!r}, {left}, {right}, {kloc})", False
+
+    def _e_logical(self, node: Binary, op: str, ind: int) -> tuple[str, bool]:
+        left, _pure = self.value(node.left, ind)
+        right_lines, (right, _rpure) = self._buffered(
+            lambda: self.value(node.right, ind + 1)
+        )
+        if not right_lines:
+            if op == "&&":
+                return (
+                    f"(0 if not truthy({left})"
+                    f" else (1 if truthy({right}) else 0))",
+                    False,
+                )
+            return (
+                f"(1 if truthy({left})"
+                f" else (1 if truthy({right}) else 0))",
+                False,
+            )
+        # The right operand needs statements, so the short circuit
+        # becomes control flow around them.
+        result = self.temp()
+        if op == "&&":
+            self.w(ind, f"if not truthy({left}):")
+            self.w(ind + 1, f"{result} = 0")
+            self.w(ind, "else:")
+            self.out.extend(right_lines)
+            self.w(ind + 1, f"{result} = 1 if truthy({right}) else 0")
+        else:
+            self.w(ind, f"if truthy({left}):")
+            self.w(ind + 1, f"{result} = 1")
+            self.w(ind, "else:")
+            self.out.extend(right_lines)
+            self.w(ind + 1, f"{result} = 1 if truthy({right}) else 0")
+        return result, True
+
+    def _e_conditional(self, node: Conditional, ind: int) -> tuple[str, bool]:
+        cond, _pure = self.value(node.cond, ind)
+        then_lines, (then, _tp) = self._buffered(
+            lambda: self.value(node.then, ind + 1)
+        )
+        other_lines, (other, _op) = self._buffered(
+            lambda: self.value(node.other, ind + 1)
+        )
+        if not then_lines and not other_lines:
+            # Plain truthy, no int fast path - like the closure engine.
+            return f"({then} if truthy({cond}) else {other})", False
+        result = self.temp()
+        self.w(ind, f"if truthy({cond}):")
+        self.out.extend(then_lines)
+        self.w(ind + 1, f"{result} = {then}")
+        self.w(ind, "else:")
+        self.out.extend(other_lines)
+        self.w(ind + 1, f"{result} = {other}")
+        return result, True
+
+    def _e_assign(self, node: Assign, ind: int) -> tuple[str, bool]:
+        if isinstance(node.target, Identifier):
+            return self._e_assign_name(node, ind)
+        kloc = self.const(node.location)
+        slot = self.hoist(ind, self.slot(node.target, ind))
+        rhs, _pure = self.value(node.value, ind)
+        if node.op == "=":
+            self.w(ind, f"{slot}.set({rhs}, {kloc})")
+        else:
+            # Compound: the right-hand side runs first, then the slot
+            # is re-read for the combine (closure-engine order).
+            rhs_t = self.hoist(ind, rhs)
+            self.w(
+                ind,
+                f"{slot}.set(binop({node.op[:-1]!r}, {slot}.get({kloc}),"
+                f" {rhs_t}, {kloc}), {kloc})",
+            )
+        result = self.hoist(ind, f"{slot}.get({kloc})")
+        return result, True
+
+    def _e_assign_name(self, node: Assign, ind: int) -> tuple[str, bool]:
+        name = node.target.name
+        kloc = self.const(node.location)
+        ktloc = self.const(node.target.location)
+        compound = None if node.op == "=" else node.op[:-1]
+        cur = self.temp()
+        result = self.temp()
+        self.w(ind, f"{cur} = L.get({name!r}, _M)")
+        self.w(ind, f"if {cur} is not _M and type({cur}) is not _SM:")
+        rhs, pure = self.value(node.value, ind + 1)
+        if compound is not None:
+            # Re-read the local *after* the right-hand side ran, so the
+            # side effects of the right-hand side are visible to the
+            # combine (closure-engine order).
+            if not pure:
+                rhs = self.hoist(ind + 1, rhs)
+            rhs = f"binop({compound!r}, L[{name!r}], {rhs}, {kloc})"
+        self.w(
+            ind + 1,
+            f"{result} = L[{name!r}] = coerce(T.get({name!r}), {rhs})",
+        )
+        self.w(ind, "else:")
+        env = self.temp()
+        # Resolution (and the undefined-variable error) happens before
+        # the right-hand side is evaluated, like `resolve_slot`.
+        self.w(ind + 1, f"{env} = _name_env_slot(rt, {cur}, {name!r}, {ktloc})")
+        rhs2, _pure2 = self.value(node.value, ind + 1)
+        self.w(
+            ind + 1,
+            f"{result} = _finish_assign(rt, {env}, {rhs2},"
+            f" {compound!r}, {kloc})",
+        )
+        return result, True
+
+    def _e_call(self, node: Call, ind: int) -> tuple[str, bool]:
+        callee = node.callee
+        kloc = self.const(node.location)
+        self.tick(ind)
+        if (
+            self.program.has_function(callee)
+            and self.program.function(callee).body is not None
+        ):
+            args = self.seq(node.args, ind)
+            packed = ", ".join(args) + ("," if len(args) == 1 else "")
+            result = self.hoist(ind, f"_fn_{callee}(rt, ({packed}))")
+            return result, True
+        args = self.seq(node.args, ind)
+        result = self.hoist(
+            ind,
+            f"_call_builtin(rt, {callee!r}, [{', '.join(args)}], {kloc})",
+        )
+        return result, True
+
+    def _e_call_indirect(self, node: CallIndirect, ind: int) -> tuple[str, bool]:
+        kloc = self.const(node.location)
+        self.tick(ind)
+        func, _pure = self.value(node.func, ind)
+        target = self.hoist(ind, f"_indirect_target({func}, {kloc})")
+        args = self.seq(node.args, ind)
+        result = self.hoist(
+            ind,
+            f"rt._call_builtin_or_user({target}, [{', '.join(args)}], {kloc})",
+        )
+        return result, True
+
+    def _e_member(self, node: Member, ind: int) -> tuple[str, bool]:
+        kloc = self.const(node.location)
+        base, _pure = self.value(node.base, ind)
+        fname = node.field_name
+        return (
+            f"struct_from({base}, {fname!r}, {kloc}).get({fname!r}, {kloc})",
+            False,
+        )
+
+    def _e_index(self, node: Index, ind: int) -> tuple[str, bool]:
+        kloc = self.const(node.location)
+        base, index = self.seq((node.base, node.index), ind)
+        return f"index_value({base}, {index}, {kloc})", False
+
+    def _e_cast(self, node: Cast, ind: int) -> tuple[str, bool]:
+        expr, _pure = self.value(node.operand, ind)
+        return f"cast_value({self.const(node.type)}, {expr})", False
+
+    def _e_sizeof(self, node: SizeOf, ind: int) -> tuple[str, bool]:
+        return repr(sizeof_value(node.type, self.program.structs)), True
+
+    def _e_initlist(self, node: InitList, ind: int) -> tuple[str, bool]:
+        items = self.seq(node.items, ind)
+        return f"ArrayValue(None, [{', '.join(items)}])", False
+
+    # -- lvalues -------------------------------------------------------------
+
+    def slot(self, node, ind: int) -> str:
+        """A slot-producing expression (evaluated at most once,
+        immediately; parents hoist when ordering demands it)."""
+        if isinstance(node, Identifier):
+            return f"rt._name_slot({node.name!r}, {self.const(node.location)})"
+        if isinstance(node, Member):
+            kloc = self.const(node.location)
+            base, _pure = self.value(node.base, ind)
+            fname = node.field_name
+            return f"FieldSlot(struct_from({base}, {fname!r}, {kloc}), {fname!r})"
+        if isinstance(node, Index):
+            kloc = self.const(node.location)
+            base, index = self.seq((node.base, node.index), ind)
+            return f"index_slot({base}, {index}, {kloc})"
+        if isinstance(node, Unary) and node.op == "*":
+            kloc = self.const(node.location)
+            expr, _pure = self.value(node.operand, ind)
+            return f"_deref_slot({expr}, {kloc})"
+        return f"_not_assignable({self.const(node.location)})"
+
+    _STMT = {
+        ExprStmt: _s_expr_stmt,
+        VarDecl: _s_var_decl,
+        Block: _s_block,
+        If: _s_if,
+        While: _s_while,
+        DoWhile: _s_do_while,
+        For: _s_for,
+        Switch: _s_switch,
+        Break: _s_break,
+        Continue: _s_continue,
+        Return: _s_return,
+    }
+
+    _EXPR = {
+        IntLiteral: _e_literal,
+        FloatLiteral: _e_literal,
+        StringLiteral: _e_literal,
+        CharLiteral: _e_literal,
+        BoolLiteral: _e_bool,
+        NullLiteral: _e_null,
+        Identifier: _e_identifier,
+        Unary: _e_unary,
+        IncDec: _e_incdec,
+        Binary: _e_binary,
+        Conditional: _e_conditional,
+        Assign: _e_assign,
+        Call: _e_call,
+        CallIndirect: _e_call_indirect,
+        Member: _e_member,
+        Index: _e_index,
+        Cast: _e_cast,
+        SizeOf: _e_sizeof,
+        InitList: _e_initlist,
+    }

@@ -119,15 +119,16 @@ class LaunchPlan:
     `globals_pure` is true when no global initializer contains a call:
     then the post-global-init interpreter state is a pure function of
     the program (no OS reads, no ticks), and the snapshot engine fills
-    `globals_template` with a pickled copy so later launches restore
-    instead of re-running `_init_globals`.
+    `globals_template` with a privatized, purity-scanned state bundle
+    (`snapshot.StateBundleCopier`) so later launches restore
+    copy-on-write instead of re-running `_init_globals`.
     """
 
     program: Program
     bodies: dict[str, Callable]
     main_steps: tuple
     globals_pure: bool = False
-    globals_template: bytes | None = None
+    globals_template: object = None
 
 
 _PLANS_LOCK = threading.Lock()

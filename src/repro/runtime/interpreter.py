@@ -109,10 +109,13 @@ class InterpreterOptions:
     max_call_depth: int = 100
     # Which launch engine executes function bodies: "compiled" lowers
     # the AST once into bound Python closures (`repro.runtime.compile`)
-    # and is the default; "tree" is the original tree-walking
-    # interpreter, kept as the reference semantics for the
-    # differential parity suite.  The two are bit-identical by
-    # contract (same verdicts, logs, steps, faults).
+    # and is the default; "codegen" lowers it further into generated
+    # Python source compiled with `compile()`/`exec`
+    # (`repro.runtime.codegen`), trading a slightly bigger one-time
+    # compile for the fastest per-launch execution; "tree" is the
+    # original tree-walking interpreter, kept as the reference
+    # semantics for the differential parity suite.  All three are
+    # bit-identical by contract (same verdicts, logs, steps, faults).
     engine: str = "compiled"
     # Warm-boot snapshots (`repro.runtime.snapshot`): replay a
     # config's boot prefix from a captured state copy instead of
@@ -148,6 +151,7 @@ class Interpreter:
         "options",
         "plan",
         "_compiled_bodies",
+        "_invokes",
         "_max_steps",
         "_max_call_depth",
         "globals",
@@ -215,6 +219,7 @@ class Interpreter:
         """
         self.plan = plan
         self._compiled_bodies = plan.bodies if plan is not None else {}
+        self._invokes = getattr(plan, "invokes", None) or {}
         self._max_steps = self.options.max_steps
         self._max_call_depth = self.options.max_call_depth
 
@@ -364,6 +369,11 @@ class Interpreter:
     # -- function calls --------------------------------------------------------
 
     def call_function(self, fn: FunctionDef, args: list[object]) -> object:
+        invoke = self._invokes.get(fn.name)
+        if invoke is not None:
+            # Codegen engine: the generated function owns the whole
+            # invoke protocol (depth check, frame, binding, coercion).
+            return invoke(self, args)
         if len(self.frames) >= self._max_call_depth:
             raise StackOverflowFault(
                 f"call depth exceeded in {fn.name}", fn.location

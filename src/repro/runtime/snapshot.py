@@ -39,10 +39,12 @@ from __future__ import annotations
 import copy
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.lang.ast_nodes import FunctionDef
 from repro.lang.program import Program
+from repro.lang.source import Location
+from repro.runtime.codegen import codegen_plan_for
 from repro.runtime.compile import LaunchPlan, plan_for
 from repro.runtime.faults import ExitProcess, StackOverflowFault
 from repro.runtime.interpreter import (
@@ -50,11 +52,25 @@ from repro.runtime.interpreter import (
     Interpreter,
     InterpreterOptions,
     _ReturnSignal,
+    _StaticMarker,
 )
 from repro.obs.profile import default_profiler
-from repro.runtime.os_model import EmulatedOS
+from repro.runtime.os_model import EmulatedOS, FileNode, LogRecord
 from repro.runtime.process import ProcessResult, capture_outcome
-from repro.runtime.values import ArrayValue, coerce, zero_value
+from repro.runtime.values import (
+    ArrayValue,
+    BoxSlot,
+    ElemSlot,
+    FieldSlot,
+    FileHandle,
+    FunctionRef,
+    Pointer,
+    SparseArrayValue,
+    StructValue,
+    VarSlot,
+    coerce,
+    zero_value,
+)
 
 from repro.lang import types as ct
 
@@ -64,35 +80,423 @@ class BootSnapshot:
     """Captured pre-boundary state plus the index of the first
     request-touching top-level statement.
 
-    The bundle is stored pickled: one `pickle.loads` per resume is
-    several times cheaper than a `copy.deepcopy` of the live object
-    graph, and either way each resume gets a fully independent copy
-    (within-bundle identity relations survive both).  State that
-    cannot pickle (exotic values planted by custom builtins) falls
-    back to holding the live bundle and deep-copying per resume.
+    The bundle is held as a private structure-copied bundle
+    (`slim_state`) and each resume takes a **copy-on-write restore**
+    through `copy_state_bundle`: immutable state (strings, numbers,
+    `CType` tables, locations, log records) is shared by reference and
+    only the mutable spine - dicts, lists, frames, struct/array
+    values, slots, file nodes, the `EmulatedOS` - is rebuilt.  That
+    replaces the old full `pickle.loads` round-trip per resume, which
+    re-materialized every immutable leaf as well.  Identity relations
+    inside the bundle (a `Pointer` into the globals dict, a shared
+    `FileHandle`) survive the copy exactly as they did under pickle.
+
+    `blob` holds the same slim bundle pickled - the cross-process
+    transport form used by the shared-memory `SnapshotPool` (process
+    workers map the bytes and unpickle once, then resume via
+    copy-on-write like everyone else).  `state` is the legacy
+    deep-copy fallback for bundles the structure copier refuses.
     """
 
     boundary: int
     blob: bytes | None = None
     state: dict | None = None
+    slim_state: dict | None = None
+    # Per-process purity scan over `slim_state`, built on first resume
+    # (it holds `id()`s into the live bundle, so it never travels).
+    copier: "StateBundleCopier | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def materialize(self, program: Program) -> dict:
         """An independent copy of the captured state bundle.
 
         `global_types` is rebuilt from the program rather than stored:
         it is exactly `_init_globals`' pass-1 mapping (name -> declared
-        type), immutable after init, and pickling its type objects per
+        type), immutable after init, and copying its type objects per
         resume would be pure waste.
         """
-        if self.blob is not None:
-            state = pickle.loads(self.blob)
+        if self.slim_state is not None:
+            copier = self.copier
+            if copier is None or copier.state is not self.slim_state:
+                copier = self.copier = StateBundleCopier(self.slim_state)
+            state = copier.copy()
             state["global_types"] = _global_types_of(program)
             return state
+        if self.blob is not None:
+            # Transport form (shared-memory pool import): unpickle
+            # once, then serve every later resume copy-on-write.
+            self.slim_state = pickle.loads(self.blob)
+            return self.materialize(program)
         return copy.deepcopy(self.state)
+
+    def to_blob(self) -> bytes | None:
+        """The snapshot's cross-process transport form (None when the
+        bundle does not pickle or only a deep-copy fallback exists)."""
+        if self.blob is not None:
+            return self.blob
+        if self.slim_state is None:
+            return None
+        try:
+            return pickle.dumps(self.slim_state, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
 
 
 def _global_types_of(program: Program) -> dict:
     return {name: decl.type for name, decl in program.globals.items()}
+
+
+# -- copy-on-write state restore ---------------------------------------------
+#
+# `Interpreter.STATE_FIELDS` closes over a small, known universe of
+# runtime classes.  `copy_state_bundle` walks that graph once,
+# rebuilding only the mutable spine and sharing every immutable leaf
+# (numbers, strings, `CType` tables, `Location`s, log records, static
+# markers) by reference.  The memo is `copy.deepcopy`-compatible
+# (id(original) -> copy), so any type the dispatcher does not know
+# falls back to a `deepcopy` that still honours identity relations
+# with the rest of the bundle.
+
+#: Leaf values shared by reference: immutable, or never mutated after
+#: creation by any runtime path (LogRecord lines are append-only at
+#: the list level; FunctionRef/_StaticMarker are read-only tokens).
+_SHARED_LEAF_TYPES = (
+    ct.CType,
+    Location,
+    LogRecord,
+    FunctionRef,
+    _StaticMarker,
+)
+
+_ATOMIC_TYPES = frozenset(
+    (type(None), bool, int, float, complex, str, bytes, frozenset)
+)
+
+#: Memo key (never an `id()` int) carrying the precomputed fixup map
+#: for this copy - see `StateBundleCopier`.
+_FIXUPS_KEY = "__container_fixups__"
+
+#: type -> "instances are shareable by reference" (atomic or a shared
+#: leaf class); memoized because the scan asks per element type, not
+#: per element.
+_SHAREABLE_CACHE: dict[type, bool] = {t: True for t in _ATOMIC_TYPES}
+
+
+def _shareable_type(kind: type) -> bool:
+    known = _SHAREABLE_CACHE.get(kind)
+    if known is None:
+        known = issubclass(kind, _SHARED_LEAF_TYPES)
+        _SHAREABLE_CACHE[kind] = known
+    return known
+
+
+def _copy_value(obj, memo):
+    if type(obj) in _ATOMIC_TYPES:
+        return obj
+    found = memo.get(id(obj))
+    if found is not None:
+        return found
+    copier = _COPIERS.get(type(obj))
+    if copier is not None:
+        return copier(obj, memo)
+    if isinstance(obj, _SHARED_LEAF_TYPES):
+        return obj
+    # Exotic value planted by a custom builtin: deepcopy shares our
+    # memo, so identity relations with the known spine still hold.
+    return copy.deepcopy(obj, memo)
+
+
+def _copy_dict(obj, memo):
+    fixups = memo.get(_FIXUPS_KEY)
+    if fixups is not None:
+        impure_keys = fixups.get(id(obj))
+        if impure_keys is not None:
+            # One C-level copy shares every shareable value; only the
+            # precomputed impure keys are rewritten recursively.
+            new = dict(obj)
+            memo[id(obj)] = new
+            for key in impure_keys:
+                new[key] = _copy_value(obj[key], memo)
+            return new
+    new = {}
+    memo[id(obj)] = new
+    for key, value in obj.items():
+        # Keys are strings / (function, name) tuples - immutable.
+        new[key] = _copy_value(value, memo)
+    return new
+
+
+def _copy_list(obj, memo):
+    fixups = memo.get(_FIXUPS_KEY)
+    if fixups is not None:
+        impure_indices = fixups.get(id(obj))
+        if impure_indices is not None:
+            new = obj.copy()  # C-level; shareable elements ride along
+            memo[id(obj)] = new
+            for index in impure_indices:
+                new[index] = _copy_value(obj[index], memo)
+            return new
+    new = []
+    memo[id(obj)] = new
+    for value in obj:
+        new.append(_copy_value(value, memo))
+    return new
+
+
+def _copy_tuple(obj, memo):
+    fixups = memo.get(_FIXUPS_KEY)
+    if fixups is not None and id(obj) in fixups:
+        # Immutable container of shareables: the tuple itself is
+        # shareable by reference.
+        memo[id(obj)] = obj
+        return obj
+    new = tuple(_copy_value(value, memo) for value in obj)
+    memo[id(obj)] = new
+    return new
+
+
+def _copy_set(obj, memo):
+    fixups = memo.get(_FIXUPS_KEY)
+    if fixups is not None and id(obj) in fixups:
+        new = obj.copy()  # every member shareable: one C-level copy
+        memo[id(obj)] = new
+        return new
+    new = {_copy_value(value, memo) for value in obj}
+    memo[id(obj)] = new
+    return new
+
+
+def _copy_frame(obj, memo):
+    new = Frame(function=obj.function)
+    memo[id(obj)] = new
+    # The locals dict is aliased by VarSlots (&local), so it travels
+    # through the memo as a first-class object in its own right.
+    new.locals = _copy_value(obj.locals, memo)
+    new.local_types = dict(obj.local_types)  # name -> CType, shared
+    return new
+
+
+def _copy_struct(obj, memo):
+    new = StructValue.__new__(StructValue)
+    memo[id(obj)] = new
+    new.struct_name = obj.struct_name
+    new.field_types = obj.field_types  # per-struct table, immutable
+    new.fields = _copy_value(obj.fields, memo)
+    return new
+
+
+def _copy_array(obj, memo):
+    new = ArrayValue.__new__(ArrayValue)
+    memo[id(obj)] = new
+    new.element_type = obj.element_type
+    new.items = _copy_value(obj.items, memo)
+    return new
+
+
+def _copy_sparse_array(obj, memo):
+    new = SparseArrayValue.__new__(SparseArrayValue)
+    memo[id(obj)] = new
+    new.element_type = obj.element_type
+    new.items = None
+    new.length = obj.length
+    new.cells = _copy_value(obj.cells, memo)
+    return new
+
+
+def _copy_var_slot(obj, memo):
+    new = VarSlot.__new__(VarSlot)
+    memo[id(obj)] = new
+    new.env = _copy_value(obj.env, memo)  # identity with globals/locals
+    new.name = obj.name
+    new.declared_type = obj.declared_type
+    return new
+
+
+def _copy_field_slot(obj, memo):
+    new = FieldSlot.__new__(FieldSlot)
+    memo[id(obj)] = new
+    new.base = _copy_value(obj.base, memo)
+    new.field_name = obj.field_name
+    return new
+
+
+def _copy_elem_slot(obj, memo):
+    new = ElemSlot.__new__(ElemSlot)
+    memo[id(obj)] = new
+    new.base = _copy_value(obj.base, memo)
+    new.index = obj.index
+    return new
+
+
+def _copy_box_slot(obj, memo):
+    new = BoxSlot.__new__(BoxSlot)
+    memo[id(obj)] = new
+    new.value = _copy_value(obj.value, memo)
+    new.declared_type = obj.declared_type
+    return new
+
+
+def _copy_pointer(obj, memo):
+    slot = _copy_value(obj.slot, memo)
+    new = Pointer(slot)
+    memo[id(obj)] = new
+    return new
+
+
+def _copy_file_handle(obj, memo):
+    new = FileHandle(
+        fd=obj.fd,
+        path=obj.path,
+        mode=obj.mode,
+        is_dir=obj.is_dir,
+        read_pos=obj.read_pos,
+        lines=list(obj.lines),  # lines are strings, shared
+        closed=obj.closed,
+    )
+    memo[id(obj)] = new
+    return new
+
+
+def _copy_file_node(obj, memo):
+    new = FileNode.__new__(FileNode)
+    memo[id(obj)] = new
+    new.__dict__.update(obj.__dict__)  # every field is an immutable scalar
+    return new
+
+
+def _copy_os(obj, memo):
+    new = EmulatedOS.__new__(EmulatedOS)
+    memo[id(obj)] = new
+    for key, value in obj.__dict__.items():
+        new.__dict__[key] = _copy_value(value, memo)
+    return new
+
+
+_COPIERS = {
+    dict: _copy_dict,
+    list: _copy_list,
+    tuple: _copy_tuple,
+    set: _copy_set,
+    Frame: _copy_frame,
+    StructValue: _copy_struct,
+    ArrayValue: _copy_array,
+    SparseArrayValue: _copy_sparse_array,
+    VarSlot: _copy_var_slot,
+    FieldSlot: _copy_field_slot,
+    ElemSlot: _copy_elem_slot,
+    BoxSlot: _copy_box_slot,
+    Pointer: _copy_pointer,
+    FileHandle: _copy_file_handle,
+    FileNode: _copy_file_node,
+    EmulatedOS: _copy_os,
+}
+
+#: Runtime classes' mutable fields the purity scan descends into
+#: (the copiers above always privatize the objects themselves).
+_SCAN_FIELDS = {
+    Frame: ("locals",),
+    StructValue: ("fields",),
+    ArrayValue: ("items",),
+    SparseArrayValue: ("cells",),
+    VarSlot: ("env",),
+    FieldSlot: ("base",),
+    ElemSlot: ("base",),
+    BoxSlot: ("value",),
+    Pointer: ("slot",),
+    FileHandle: (),
+    FileNode: (),
+}
+
+
+def _scan_fixups(obj, fixups: dict[int, tuple], seen: set[int]) -> None:
+    """Precompute each container's copy recipe.
+
+    For a dict or list the recipe is the tuple of keys/indices whose
+    values are NOT shareable by reference: every copy then starts from
+    one C-level `dict()`/`list.copy()` and rewrites only those slots.
+    A `set(map(type, ...))` probe keeps the all-shareable check at C
+    speed, so a 64k-element int array costs one set-build here instead
+    of 64k Python-level copy calls on every restore.  Sets and tuples
+    get a recipe only when fully shareable (tuples are then shared
+    outright - immutable containers of immutables)."""
+    kind = type(obj)
+    if _shareable_type(kind):
+        return
+    key = id(obj)
+    if key in seen:
+        return
+    seen.add(key)
+    if kind is dict:
+        kinds = set(map(type, obj.values()))
+        if all(_shareable_type(k) for k in kinds):
+            fixups[key] = ()
+            return
+        impure = tuple(
+            k for k, v in obj.items() if not _shareable_type(type(v))
+        )
+        fixups[key] = impure
+        for k in impure:
+            _scan_fixups(obj[k], fixups, seen)
+    elif kind is list:
+        kinds = set(map(type, obj))
+        if all(_shareable_type(k) for k in kinds):
+            fixups[key] = ()
+            return
+        impure = tuple(
+            i for i, v in enumerate(obj) if not _shareable_type(type(v))
+        )
+        fixups[key] = impure
+        for i in impure:
+            _scan_fixups(obj[i], fixups, seen)
+    elif kind is set or kind is tuple:
+        kinds = set(map(type, obj))
+        if all(_shareable_type(k) for k in kinds):
+            fixups[key] = ()
+            return
+        for value in obj:
+            _scan_fixups(value, fixups, seen)
+    elif kind is EmulatedOS:
+        for value in obj.__dict__.values():
+            _scan_fixups(value, fixups, seen)
+    else:
+        for name in _SCAN_FIELDS.get(kind, ()):
+            _scan_fixups(getattr(obj, name), fixups, seen)
+
+
+class StateBundleCopier:
+    """Amortized copy-on-write copier for one frozen state bundle.
+
+    The fixup scan runs once; every `copy()` after that duplicates
+    containers with one C-level `dict()`/`list.copy()` plus targeted
+    rewrites of their few mutable slots, and shares all-immutable
+    tuples outright - the difference between beating and losing to
+    `pickle.loads` on array-heavy bundles.  Resumed runs mutate only
+    the copies, never the source bundle, so the scan never goes stale.
+    """
+
+    __slots__ = ("state", "_fixups")
+
+    def __init__(self, state: dict) -> None:
+        self.state = state
+        self._fixups: dict[int, tuple] = {}
+        _scan_fixups(state, self._fixups, set())
+
+    def copy(self) -> dict:
+        return _copy_value(self.state, {_FIXUPS_KEY: self._fixups})
+
+
+def copy_state_bundle(state: dict) -> dict:
+    """A fully independent copy of an interpreter state bundle, with
+    every immutable leaf shared by reference (copy-on-write restore).
+
+    Semantically equivalent to `copy.deepcopy(state)` / a pickle
+    round-trip: mutating the copy can never be observed through the
+    original, and identity relations inside the bundle survive.
+    Repeated copies of one bundle should hold a `StateBundleCopier`
+    instead, amortizing the purity scan.
+    """
+    return StateBundleCopier(state).copy()
 
 
 @dataclass
@@ -172,7 +576,12 @@ def boot_launch(
     from it, the snapshot supplies the whole world.
     """
     options = options if options is not None else InterpreterOptions()
-    plan = plan_for(program) if options.engine == "compiled" else None
+    if options.engine == "compiled":
+        plan = plan_for(program)
+    elif options.engine == "codegen":
+        plan = codegen_plan_for(program)
+    else:
+        plan = None
     # Sampled profiling (repro.obs): every Nth launch times its whole
     # phase - replay (resumed) or boot (cold) - and records the step
     # budget actually consumed.  Off-sample launches pay one counter.
@@ -210,8 +619,8 @@ def _fresh_interpreter(
 ) -> Interpreter:
     """A cold interpreter, via the plan's global-init template when the
     program's global initializers are call-free (then the initialized
-    state is a pure function of the program, so one pickle restore
-    replaces re-running `_init_globals` on every launch)."""
+    state is a pure function of the program, so one copy-on-write
+    restore replaces re-running `_init_globals` on every launch)."""
     if plan is None or not plan.globals_pure:
         return Interpreter(program, os_model, options, plan=plan)
     template = plan.globals_template
@@ -221,14 +630,16 @@ def _fresh_interpreter(
         bundle.pop("os")
         bundle.pop("global_types")
         try:
-            plan.globals_template = pickle.dumps(
-                bundle, pickle.HIGHEST_PROTOCOL
+            # Privatize once; every later cold boot restores from this
+            # bundle copy-on-write instead of re-running the inits.
+            plan.globals_template = StateBundleCopier(
+                copy_state_bundle(bundle)
             )
         except Exception:
-            # Unpicklable initializer values: template disabled.
+            # Uncopyable initializer values: template disabled.
             plan.globals_pure = False
         return interp
-    state = pickle.loads(template)
+    state = template.copy()
     state["os"] = os_model
     state["global_types"] = _global_types_of(program)
     return Interpreter.from_state(program, state, options, plan=plan)
@@ -392,12 +803,12 @@ def _capture(interp: Interpreter, boundary: int) -> BootSnapshot:
         slim = dict(bundle)
         slim.pop("global_types")  # rebuilt from the program on resume
         try:
-            blob = pickle.dumps(slim, pickle.HIGHEST_PROTOCOL)
+            private = copy_state_bundle(slim)
         except Exception:
-            # Unpicklable state (e.g. a custom builtin planted an
-            # exotic value): keep a live deep copy instead.
+            # Uncopyable state (e.g. a custom builtin planted a value
+            # even deepcopy refuses): keep a live deep copy instead.
             return BootSnapshot(boundary=boundary, state=copy.deepcopy(bundle))
-        return BootSnapshot(boundary=boundary, blob=blob)
+        return BootSnapshot(boundary=boundary, slim_state=private)
     finally:
         os_model.requests = saved_requests
 
@@ -438,3 +849,71 @@ def _resume(
             return exit_.code
 
     return capture_outcome(interp, run_tail)
+
+
+# -- shared-memory snapshot pool ---------------------------------------------
+
+
+class SnapshotPool:
+    """Boot-snapshot transport for process-executor fleets.
+
+    The parent publishes each captured snapshot's transport blob
+    (`BootSnapshot.to_blob`) into one `multiprocessing.shared_memory`
+    segment; workers *map* the segment by name and unpickle the bundle
+    once instead of receiving a fresh pickle per task through the task
+    pipe.  The manifest (`{key: (segment name, size, boundary)}`) is
+    tiny and travels through the normal worker-seed side channel.
+
+    The parent owns every segment: `close()` (or use as a context
+    manager) closes and unlinks them all, and is idempotent and
+    tolerant of segments that already vanished - a worker crash can
+    never leak shared memory past the parent's cleanup.  Workers use
+    the static `fetch` and never unlink.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list = []
+        self.manifest: dict[str, tuple[str, int, int]] = {}
+
+    def publish(self, key: str, blob: bytes, boundary: int) -> None:
+        """Copy one snapshot blob into a fresh shared segment."""
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        segment.buf[: len(blob)] = blob
+        self._segments.append(segment)
+        self.manifest[key] = (segment.name, len(blob), boundary)
+
+    @staticmethod
+    def fetch(entry: tuple[str, int, int]) -> bytes | None:
+        """Worker side: map a published segment and copy its bytes out
+        (None when the segment is already gone - the resume path then
+        simply boots cold, correctness never depends on the pool)."""
+        from multiprocessing import shared_memory
+
+        name, size, _boundary = entry
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return None
+        try:
+            return bytes(segment.buf[:size])
+        finally:
+            segment.close()
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        self.manifest = {}
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SnapshotPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,14 +27,9 @@ from repro.core.accuracy import (
     truth_value_rel,
 )
 from repro.inject.ar import KeyValueDialect
-from repro.systems.base import (
-    FunctionalTest,
-    SubjectSystem,
-    decode_int,
-    decode_size,
-    decode_string,
-)
+from repro.systems.base import FunctionalTest, SubjectSystem
 from repro.systems.registry import register
+from repro.systems.spec import SAME_AS_NAME, OsDir, ParamSpec, SystemSpec
 
 MYSQLD_MAIN = r"""
 // mysqld-mini
@@ -421,122 +416,108 @@ def _tests() -> list[FunctionalTest]:
     ]
 
 
-def _setup_os(os_model) -> None:
-    os_model.add_dir("/data/mysql")
+# (config name, decoder slug, effective variable, extra truth).  Every
+# sys_var_int row carries the table's min/max columns, so every int
+# parameter gets a range truth; the renames follow the real server
+# (`port` lands in `mysql_port`, the performance-schema mouthful in
+# `waits_history_size`).
+_INTS = [
+    ("port", "int", "mysql_port",
+     (truth_semantic("port", "PORT"),)),
+    ("max_connections", "int", SAME_AS_NAME, ()),
+    ("key_buffer_size", "size", SAME_AS_NAME,
+     (truth_semantic("key_buffer_size", "SIZE"),)),
+    ("sort_buffer_size", "size", SAME_AS_NAME,
+     (truth_semantic("sort_buffer_size", "SIZE"),)),
+    ("max_allowed_packet", "size", SAME_AS_NAME, ()),
+    ("wait_timeout", "int", SAME_AS_NAME,
+     (truth_semantic("wait_timeout", "TIME"),)),
+    ("interactive_timeout", "int", SAME_AS_NAME,
+     (truth_semantic("interactive_timeout", "TIME"),)),
+    ("net_retry_count", "int", SAME_AS_NAME, ()),
+    ("table_open_cache", "int", SAME_AS_NAME, ()),
+    ("ft_min_word_len", "int", SAME_AS_NAME, ()),
+    ("ft_max_word_len", "int", SAME_AS_NAME, ()),
+    ("performance_schema_events_waits_history_size", "int",
+     "waits_history_size", ()),
+    ("innodb_thread_sleep_delay", "int", SAME_AS_NAME,
+     (truth_semantic("innodb_thread_sleep_delay", "TIME"),)),
+    ("innodb_thread_concurrency", "int", SAME_AS_NAME, ()),
+    ("thread_cache_size", "int", SAME_AS_NAME, ()),
+    ("slow_query_log", "int", SAME_AS_NAME, ()),
+]
 
+_STRS = [
+    ("datadir", SAME_AS_NAME,
+     (truth_semantic("datadir", "DIRECTORY"),)),
+    ("ft_stopword_file", SAME_AS_NAME,
+     (truth_semantic("ft_stopword_file", "FILE"),)),
+    ("socket", "socket_path", ()),
+    ("pid_file", SAME_AS_NAME,
+     (truth_semantic("pid_file", "FILE"),)),
+    ("log_error", SAME_AS_NAME, ()),
+    ("slow_query_log_file", SAME_AS_NAME, ()),
+]
 
-def _ground_truth():
-    ints = [
-        "port",
-        "max_connections",
-        "key_buffer_size",
-        "sort_buffer_size",
-        "max_allowed_packet",
-        "wait_timeout",
-        "interactive_timeout",
-        "net_retry_count",
-        "table_open_cache",
-        "ft_min_word_len",
-        "ft_max_word_len",
-        "performance_schema_events_waits_history_size",
-        "innodb_thread_sleep_delay",
-        "innodb_thread_concurrency",
-        "thread_cache_size",
-        "slow_query_log",
+# Enum directives validated by strcmp ladders (innodb_file_format_check
+# is the single case-sensitive one, Figure 6a); their value sets are
+# range truth.
+_ENUMS = [
+    "innodb_file_format_check",
+    "binlog_format",
+    "innodb_flush_method",
+]
+
+SPEC = SystemSpec(
+    name="mysql",
+    display_name="MySQL",
+    description="Miniature mysqld with the paper's MySQL traits",
+    sources={"mysqld.c": MYSQLD_MAIN},
+    annotations=ANNOTATIONS,
+    dialect=KeyValueDialect("="),
+    config_path="/etc/my.cnf",
+    default_config=DEFAULT_CONFIG,
+    params=[
+        ParamSpec(
+            name,
+            decode=decode,
+            var=var,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "int"), truth_range(name)) + extra,
+        )
+        for name, decode, var, extra in _INTS
     ]
-    strs = [
-        "datadir",
-        "ft_stopword_file",
-        "socket",
-        "pid_file",
-        "log_error",
-        "slow_query_log_file",
-        "innodb_file_format_check",
-        "binlog_format",
-        "innodb_flush_method",
+    + [
+        ParamSpec(
+            name,
+            decode="string",
+            var=var,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "string"),) + extra,
+        )
+        for name, var, extra in _STRS
     ]
-    truth = [truth_basic(p, "int") for p in ints]
-    truth += [truth_basic(p, "string") for p in strs]
-    truth += [truth_range(p) for p in ints]  # table min/max columns
-    truth += [
-        truth_range("innodb_file_format_check"),
-        truth_range("binlog_format"),
-        truth_range("innodb_flush_method"),
-        truth_semantic("port", "PORT"),
-        truth_semantic("ft_stopword_file", "FILE"),
-        truth_semantic("datadir", "DIRECTORY"),
-        truth_semantic("pid_file", "FILE"),
-        truth_semantic("key_buffer_size", "SIZE"),
-        truth_semantic("sort_buffer_size", "SIZE"),
-        truth_semantic("innodb_thread_sleep_delay", "TIME"),
-        truth_semantic("wait_timeout", "TIME"),
-        truth_semantic("interactive_timeout", "TIME"),
+    + [
+        ParamSpec(
+            name,
+            decode="string",
+            var=SAME_AS_NAME,
+            manual=MANUAL.get(name),
+            truth=(truth_basic(name, "string"), truth_range(name)),
+        )
+        for name in _ENUMS
+    ],
+    tests=_tests(),
+    extra_truth=[
         truth_value_rel("ft_min_word_len", "ft_max_word_len"),
-        truth_ctrl_dep("innodb_thread_sleep_delay", "innodb_thread_concurrency"),
-    ]
-    return truth
+        truth_ctrl_dep(
+            "innodb_thread_sleep_delay", "innodb_thread_concurrency"
+        ),
+    ],
+    os_dirs=[OsDir("/data/mysql")],
+)
 
 
 @register("mysql")
 def build() -> SubjectSystem:
-    ints = {
-        "port": decode_int,
-        "max_connections": decode_int,
-        "key_buffer_size": decode_size,
-        "sort_buffer_size": decode_size,
-        "max_allowed_packet": decode_size,
-        "wait_timeout": decode_int,
-        "interactive_timeout": decode_int,
-        "net_retry_count": decode_int,
-        "table_open_cache": decode_int,
-        "ft_min_word_len": decode_int,
-        "ft_max_word_len": decode_int,
-        "performance_schema_events_waits_history_size": decode_int,
-        "innodb_thread_sleep_delay": decode_int,
-        "innodb_thread_concurrency": decode_int,
-        "thread_cache_size": decode_int,
-        "slow_query_log": decode_int,
-    }
-    var_of = {
-        "port": "mysql_port",
-        "max_connections": "max_connections",
-        "key_buffer_size": "key_buffer_size",
-        "sort_buffer_size": "sort_buffer_size",
-        "max_allowed_packet": "max_allowed_packet",
-        "wait_timeout": "wait_timeout",
-        "interactive_timeout": "interactive_timeout",
-        "net_retry_count": "net_retry_count",
-        "table_open_cache": "table_open_cache",
-        "ft_min_word_len": "ft_min_word_len",
-        "ft_max_word_len": "ft_max_word_len",
-        "performance_schema_events_waits_history_size": "waits_history_size",
-        "innodb_thread_sleep_delay": "innodb_thread_sleep_delay",
-        "innodb_thread_concurrency": "innodb_thread_concurrency",
-        "thread_cache_size": "thread_cache_size",
-        "slow_query_log": "slow_query_log",
-        "datadir": "datadir",
-        "ft_stopword_file": "ft_stopword_file",
-        "socket": "socket_path",
-        "pid_file": "pid_file",
-        "log_error": "log_error",
-        "slow_query_log_file": "slow_query_log_file",
-        "innodb_file_format_check": "innodb_file_format_check",
-        "binlog_format": "binlog_format",
-        "innodb_flush_method": "innodb_flush_method",
-    }
-    return SubjectSystem(
-        name="mysql",
-        display_name="MySQL",
-        description="Miniature mysqld with the paper's MySQL traits",
-        sources={"mysqld.c": MYSQLD_MAIN},
-        annotations=ANNOTATIONS,
-        dialect=KeyValueDialect("="),
-        config_path="/etc/my.cnf",
-        default_config=DEFAULT_CONFIG,
-        tests=_tests(),
-        effective_locations={p: (v, ()) for p, v in var_of.items()},
-        decoders=ints,
-        manual=MANUAL,
-        ground_truth=_ground_truth(),
-        setup_os=_setup_os,
-    )
+    return SPEC.build()

@@ -1,11 +1,16 @@
-"""Differential parity suite: compiled launch engine vs tree-walker.
+"""Differential parity suite: all launch engines vs the tree-walker.
 
-The closure-compiled engine (`repro.runtime.compile`) must be
-bit-identical to the tree-walking interpreter for every externally
-observable channel SPEX-INJ reads: status, exit code, fault signal and
-reason, fault location, logs, responses, and the *step count* (fault
+The closure-compiled engine (`repro.runtime.compile`) and the
+source-codegen engine (`repro.runtime.codegen`) must be bit-identical
+to the tree-walking interpreter for every externally observable
+channel SPEX-INJ reads: status, exit code, fault signal and reason,
+fault location, logs, responses, and the *step count* (fault
 classification is step-budget-sensitive, so steps are part of the
 contract, not an implementation detail).
+
+Warm-boot launches are part of the contract too: a launch resumed
+from a boot snapshot must be bit-identical to a cold launch of the
+same config, on every engine.
 """
 
 import pytest
@@ -15,22 +20,33 @@ from repro.runtime.interpreter import InterpreterOptions
 from repro.runtime.process import ProcessStatus, run_program
 from repro.systems.registry import get_system, system_names
 
-
-def assert_same_result(compiled, tree):
-    assert compiled.status is tree.status
-    assert compiled.exit_code == tree.exit_code
-    assert compiled.fault_signal == tree.fault_signal
-    assert compiled.fault_reason == tree.fault_reason
-    assert str(compiled.fault_location) == str(tree.fault_location)
-    assert [str(r) for r in compiled.logs] == [str(r) for r in tree.logs]
-    assert compiled.responses == tree.responses
-    assert compiled.steps == tree.steps
+# The tree-walker is the reference; every other engine must match it.
+ENGINES = ("tree", "compiled", "codegen")
 
 
-def run_both(source, argv=None, max_steps=2_000_000, max_virtual=600.0):
+def assert_same_result(candidate, reference):
+    assert candidate.status is reference.status
+    assert candidate.exit_code == reference.exit_code
+    assert candidate.fault_signal == reference.fault_signal
+    assert candidate.fault_reason == reference.fault_reason
+    assert str(candidate.fault_location) == str(reference.fault_location)
+    assert [str(r) for r in candidate.logs] == [
+        str(r) for r in reference.logs
+    ]
+    assert candidate.responses == reference.responses
+    assert candidate.steps == reference.steps
+
+
+def assert_all_same(results):
+    reference = results[0]
+    for candidate in results[1:]:
+        assert_same_result(candidate, reference)
+
+
+def run_all(source, argv=None, max_steps=2_000_000, max_virtual=600.0):
     program = Program.from_sources({"main.c": source})
     results = []
-    for engine in ("compiled", "tree"):
+    for engine in ENGINES:
         options = InterpreterOptions(
             max_steps=max_steps,
             max_virtual_seconds=max_virtual,
@@ -38,13 +54,13 @@ def run_both(source, argv=None, max_steps=2_000_000, max_virtual=600.0):
             warm_boot=False,
         )
         results.append(run_program(program, argv=argv, options=options))
-    assert_same_result(*results)
+    assert_all_same(results)
     return results[0]
 
 
 class TestCraftedProgramParity:
     def test_arithmetic_and_control_flow(self):
-        result = run_both(
+        result = run_all(
             """
             int main() {
                 int total = 0;
@@ -61,7 +77,7 @@ class TestCraftedProgramParity:
         assert result.status is ProcessStatus.EXITED
 
     def test_switch_fallthrough_and_break(self):
-        run_both(
+        run_all(
             """
             int classify(int x) {
                 int score = 0;
@@ -86,7 +102,7 @@ class TestCraftedProgramParity:
         )
 
     def test_statics_structs_pointers_and_strings(self):
-        run_both(
+        run_all(
             """
             struct counter { int n; char *label; };
             struct counter box;
@@ -108,7 +124,7 @@ class TestCraftedProgramParity:
         )
 
     def test_function_pointers_and_varargs(self):
-        run_both(
+        run_all(
             """
             int twice(int x) { return x * 2; }
             int thrice(int x) { return x * 3; }
@@ -127,7 +143,7 @@ class TestCraftedProgramParity:
         )
 
     def test_segfault_parity(self):
-        result = run_both(
+        result = run_all(
             """
             int main() {
                 int *p = NULL;
@@ -139,13 +155,13 @@ class TestCraftedProgramParity:
         assert result.fault_signal == "SIGSEGV"
 
     def test_division_fault_parity(self):
-        result = run_both(
+        result = run_all(
             "int main() { int z = 0; return 7 / z; }"
         )
         assert result.fault_signal == "SIGFPE"
 
     def test_out_of_bounds_parity(self):
-        result = run_both(
+        result = run_all(
             """
             int table[3];
             int main() {
@@ -158,7 +174,7 @@ class TestCraftedProgramParity:
         assert result.status is ProcessStatus.CRASHED
 
     def test_recursion_overflow_parity(self):
-        result = run_both(
+        result = run_all(
             """
             int spin(int n) { return spin(n + 1); }
             int main() { return spin(0); }
@@ -168,15 +184,15 @@ class TestCraftedProgramParity:
         assert result.fault_signal == "SIGSEGV"
 
     def test_step_budget_exhaustion_same_step(self):
-        result = run_both(
+        result = run_all(
             "int main() { while (1) { } return 0; }",
             max_steps=500,
         )
         assert result.status is ProcessStatus.HUNG
-        assert result.steps == 501  # both engines stop at the same tick
+        assert result.steps == 501  # all engines stop at the same tick
 
     def test_virtual_time_hang_parity(self):
-        result = run_both(
+        result = run_all(
             """
             int main() {
                 while (1) { sleep(30); }
@@ -188,7 +204,7 @@ class TestCraftedProgramParity:
         assert result.status is ProcessStatus.HUNG
 
     def test_integer_wrap_and_casts(self):
-        run_both(
+        run_all(
             """
             int stored;
             int main() {
@@ -202,7 +218,7 @@ class TestCraftedProgramParity:
         )
 
     def test_compound_assignment_and_ternary(self):
-        run_both(
+        run_all(
             """
             int main() {
                 int x = 5;
@@ -214,7 +230,7 @@ class TestCraftedProgramParity:
         )
 
     def test_errno_and_file_io(self):
-        run_both(
+        run_all(
             """
             int main() {
                 void *fp = fopen("/etc/missing.conf", "r");
@@ -230,7 +246,7 @@ class TestCraftedProgramParity:
 
 @pytest.mark.parametrize("name", system_names())
 class TestSystemParity:
-    """Every registered system: identical launches on both engines."""
+    """Every registered system: identical launches on every engine."""
 
     def _options(self, engine):
         return InterpreterOptions(
@@ -255,14 +271,15 @@ class TestSystemParity:
     def test_baseline_startup_and_tests(self, name):
         system = get_system(name)
         config = system.default_config
-        assert_same_result(
-            self._launch(system, config, "compiled"),
-            self._launch(system, config, "tree"),
+        assert_all_same(
+            [self._launch(system, config, engine) for engine in ENGINES]
         )
         for test in system.tests:
-            assert_same_result(
-                self._launch(system, config, "compiled", test.requests),
-                self._launch(system, config, "tree", test.requests),
+            assert_all_same(
+                [
+                    self._launch(system, config, engine, test.requests)
+                    for engine in ENGINES
+                ]
             )
 
     def test_broken_config_parity(self, name):
@@ -274,22 +291,22 @@ class TestSystemParity:
             ar = template.clone()
             ar.set(param, "999999999999")
             config = ar.serialize()
-            assert_same_result(
-                self._launch(system, config, "compiled"),
-                self._launch(system, config, "tree"),
+            assert_all_same(
+                [self._launch(system, config, engine) for engine in ENGINES]
             )
 
     def test_step_budget_regression_guard(self, name):
         """The per-launch instruction budget is part of the engine
-        contract: a compiled boot must consume *exactly* as many steps
-        as a tree-walking boot, and a squeezed budget must hang both
+        contract: every engine must consume *exactly* as many steps as
+        a tree-walking boot, and a squeezed budget must hang all
         engines at the same tick."""
         system = get_system(name)
         config = system.default_config
-        compiled = self._launch(system, config, "compiled")
-        tree = self._launch(system, config, "tree")
-        assert compiled.steps == tree.steps
-        squeezed_budget = compiled.steps // 2
+        baselines = [
+            self._launch(system, config, engine) for engine in ENGINES
+        ]
+        assert len({result.steps for result in baselines}) == 1
+        squeezed_budget = baselines[0].steps // 2
         squeezed = [
             run_program(
                 system.program(),
@@ -302,9 +319,9 @@ class TestSystemParity:
                     warm_boot=False,
                 ),
             )
-            for engine in ("compiled", "tree")
+            for engine in ENGINES
         ]
-        assert_same_result(*squeezed)
+        assert_all_same(squeezed)
         assert squeezed[0].status is ProcessStatus.HUNG
         assert squeezed[0].steps == squeezed_budget + 1
 
@@ -313,3 +330,50 @@ class TestSystemParity:
         os_model = system.make_os()
         system.install_config(os_model, config)
         return os_model
+
+
+@pytest.mark.parametrize("name", system_names())
+class TestWarmBootParity:
+    """Warm-boot (snapshot resume) launches are bit-identical to cold
+    launches, per engine and across engines.
+
+    Exercises the full snapshot protocol through the harness: the
+    first launch probes the boot boundary, the second captures the
+    copy-on-write snapshot mid-run, the third resumes from it.  All
+    three must agree with each other and with every other engine.
+    """
+
+    def test_warm_equals_cold_on_every_engine(self, name):
+        from repro.inject.harness import InjectionHarness
+
+        system = get_system(name)
+        config = system.default_config
+        requests = system.tests[0].requests if system.tests else None
+        per_engine = []
+        for engine in ENGINES:
+            harness = InjectionHarness(system, engine=engine)
+            assert harness.options.warm_boot
+            probe = harness.launch(config)  # cold: learns the boundary
+            capture = harness.launch(config)  # cold: captures snapshot
+            resumed = harness.launch(config)  # warm: resumes snapshot
+            assert_same_result(capture, probe)
+            assert_same_result(resumed, probe)
+            if requests:
+                # Warm boot then request replay, still bit-identical
+                # to the cold run_program launch of the same test.
+                warm_requests = harness.launch(config, requests)
+                cold_os = system.make_os()
+                system.install_config(cold_os, config)
+                cold_os.queue_requests(requests)
+                cold = run_program(
+                    system.program(),
+                    cold_os,
+                    argv=[system.name, system.config_path],
+                    options=harness.options,
+                )
+                assert_same_result(warm_requests, cold)
+                per_engine.append((probe, warm_requests))
+            else:
+                per_engine.append((probe, resumed))
+        assert_all_same([pair[0] for pair in per_engine])
+        assert_all_same([pair[1] for pair in per_engine])

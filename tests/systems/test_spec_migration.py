@@ -1,5 +1,5 @@
 """Migration parity: the declarative `SystemSpec` builds of vsftpd,
-openldap, apache and squid are byte-identical to the imperative
+openldap, apache, squid and mysql are byte-identical to the imperative
 builders they replaced.
 
 The legacy builders below are the pre-migration `build()` bodies,
@@ -22,7 +22,7 @@ from repro.core.engine import SpexOptions
 from repro.inject.ar import DirectiveDialect, KeyValueDialect
 from repro.inject.campaign import Campaign
 from repro.pipeline.cache import spex_fingerprint
-from repro.systems import apache, get_system, openldap, squid, vsftpd
+from repro.systems import apache, get_system, mysql, openldap, squid, vsftpd
 from repro.systems.base import (
     SubjectSystem,
     decode_bool,
@@ -410,11 +410,113 @@ def _legacy_squid() -> SubjectSystem:
     )
 
 
+def _legacy_mysql() -> SubjectSystem:
+    ints = {
+        "port": decode_int,
+        "max_connections": decode_int,
+        "key_buffer_size": decode_size,
+        "sort_buffer_size": decode_size,
+        "max_allowed_packet": decode_size,
+        "wait_timeout": decode_int,
+        "interactive_timeout": decode_int,
+        "net_retry_count": decode_int,
+        "table_open_cache": decode_int,
+        "ft_min_word_len": decode_int,
+        "ft_max_word_len": decode_int,
+        "performance_schema_events_waits_history_size": decode_int,
+        "innodb_thread_sleep_delay": decode_int,
+        "innodb_thread_concurrency": decode_int,
+        "thread_cache_size": decode_int,
+        "slow_query_log": decode_int,
+    }
+    var_of = {
+        "port": "mysql_port",
+        "max_connections": "max_connections",
+        "key_buffer_size": "key_buffer_size",
+        "sort_buffer_size": "sort_buffer_size",
+        "max_allowed_packet": "max_allowed_packet",
+        "wait_timeout": "wait_timeout",
+        "interactive_timeout": "interactive_timeout",
+        "net_retry_count": "net_retry_count",
+        "table_open_cache": "table_open_cache",
+        "ft_min_word_len": "ft_min_word_len",
+        "ft_max_word_len": "ft_max_word_len",
+        "performance_schema_events_waits_history_size": "waits_history_size",
+        "innodb_thread_sleep_delay": "innodb_thread_sleep_delay",
+        "innodb_thread_concurrency": "innodb_thread_concurrency",
+        "thread_cache_size": "thread_cache_size",
+        "slow_query_log": "slow_query_log",
+        "datadir": "datadir",
+        "ft_stopword_file": "ft_stopword_file",
+        "socket": "socket_path",
+        "pid_file": "pid_file",
+        "log_error": "log_error",
+        "slow_query_log_file": "slow_query_log_file",
+        "innodb_file_format_check": "innodb_file_format_check",
+        "binlog_format": "binlog_format",
+        "innodb_flush_method": "innodb_flush_method",
+    }
+    int_names = list(ints)
+    strs = [
+        "datadir",
+        "ft_stopword_file",
+        "socket",
+        "pid_file",
+        "log_error",
+        "slow_query_log_file",
+        "innodb_file_format_check",
+        "binlog_format",
+        "innodb_flush_method",
+    ]
+    truth = [truth_basic(p, "int") for p in int_names]
+    truth += [truth_basic(p, "string") for p in strs]
+    truth += [truth_range(p) for p in int_names]  # table min/max columns
+    truth += [
+        truth_range("innodb_file_format_check"),
+        truth_range("binlog_format"),
+        truth_range("innodb_flush_method"),
+        truth_semantic("port", "PORT"),
+        truth_semantic("ft_stopword_file", "FILE"),
+        truth_semantic("datadir", "DIRECTORY"),
+        truth_semantic("pid_file", "FILE"),
+        truth_semantic("key_buffer_size", "SIZE"),
+        truth_semantic("sort_buffer_size", "SIZE"),
+        truth_semantic("innodb_thread_sleep_delay", "TIME"),
+        truth_semantic("wait_timeout", "TIME"),
+        truth_semantic("interactive_timeout", "TIME"),
+        truth_value_rel("ft_min_word_len", "ft_max_word_len"),
+        truth_ctrl_dep(
+            "innodb_thread_sleep_delay", "innodb_thread_concurrency"
+        ),
+    ]
+
+    def setup_os(os_model):
+        os_model.add_dir("/data/mysql")
+
+    return SubjectSystem(
+        name="mysql",
+        display_name="MySQL",
+        description="Miniature mysqld with the paper's MySQL traits",
+        sources={"mysqld.c": mysql.MYSQLD_MAIN},
+        annotations=mysql.ANNOTATIONS,
+        dialect=KeyValueDialect("="),
+        config_path="/etc/my.cnf",
+        default_config=mysql.DEFAULT_CONFIG,
+        tests=mysql._tests(),
+        effective_locations={p: (v, ()) for p, v in var_of.items()},
+        decoders=ints,
+        manual=mysql.MANUAL,
+        ground_truth=truth,
+        setup_os=setup_os,
+    )
+
+
 _LEGACY = {
     "vsftpd": _legacy_vsftpd,
     "openldap": _legacy_openldap,
     "apache": _legacy_apache,
     "squid": _legacy_squid,
+    "mysql": _legacy_mysql,
 }
 
 MIGRATED = sorted(_LEGACY)

@@ -9,7 +9,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from bench_json import dump_payload, write_payload  # noqa: E402
+from bench_json import (  # noqa: E402
+    _committed_warm_rows,
+    dump_payload,
+    write_payload,
+)
 
 
 def _scrambled_payloads():
@@ -71,3 +75,38 @@ class TestWritePayload:
             assert artifact.read_text(encoding="utf-8") == dump_payload(
                 decoded
             ), f"{artifact.name} was not written via bench_json helpers"
+
+
+class TestBenchCheckSchema:
+    """`make bench-check` compares warm rows across schema generations."""
+
+    def test_engine_matrix_rows(self):
+        row = {
+            "tree_launches_per_s": 100.0,
+            "engines": {
+                "compiled": {"cold_launches_per_s": 1.0,
+                             "warm_launches_per_s": 900.0},
+                "codegen": {"cold_launches_per_s": 2.0,
+                            "warm_launches_per_s": 1100.0},
+            },
+        }
+        assert _committed_warm_rows(row) == {
+            "compiled": 900.0,
+            "codegen": 1100.0,
+        }
+
+    def test_pre_matrix_flat_row_reads_as_compiled(self):
+        row = {"cold_launches_per_s": 1.0, "warm_launches_per_s": 650.0}
+        assert _committed_warm_rows(row) == {"compiled": 650.0}
+
+    def test_row_without_warm_numbers_is_empty(self):
+        assert _committed_warm_rows({"tree_launches_per_s": 9.0}) == {}
+
+    def test_committed_launch_file_yields_rows_for_every_system(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_launch.json").read_text(encoding="utf-8")
+        )
+        for name, row in committed["systems"].items():
+            rows = _committed_warm_rows(row)
+            assert set(rows) == {"compiled", "codegen"}, name
+            assert all(v > 0 for v in rows.values()), name

@@ -323,6 +323,52 @@ class TestObservabilityEscapes:
             )
 
 
+class TestDynamicExec:
+    LIB_PATH = Path("src/repro/inject/campaign.py")
+
+    def _codes_at(self, path: Path, source: str) -> list[str]:
+        return [c for _, _, c, _ in check_tree(path, ast.parse(source))]
+
+    def test_exec_in_library_module_flagged(self):
+        source = "def f(src):\n    exec(src)\n"
+        assert self._codes_at(self.LIB_PATH, source) == ["dynamic-exec"]
+
+    def test_eval_in_library_module_flagged(self):
+        source = "def f(expr):\n    return eval(expr)\n"
+        assert self._codes_at(self.LIB_PATH, source) == ["dynamic-exec"]
+
+    def test_codegen_engine_exempt(self):
+        path = Path("src/repro/runtime/codegen.py")
+        source = "def f(src):\n    exec(compile(src, '<x>', 'exec'), {})\n"
+        assert self._codes_at(path, source) == []
+
+    def test_method_named_eval_passes(self):
+        # obj.eval(...) is an ordinary method, not the builtin.
+        source = "def f(model, x):\n    return model.eval(x)\n"
+        assert self._codes_at(self.LIB_PATH, source) == []
+
+    def test_non_library_modules_exempt(self):
+        source = "exec('pass')\neval('1')\n"
+        for raw in ("x.py", "tools/lint.py", "tests/lint/test_detectors.py"):
+            assert self._codes_at(Path(raw), source) == []
+
+    def test_allowlist_tracks_reality(self):
+        # Every exempted module must exist and still exec; anything
+        # else on the list would silently disable the gate.  The list
+        # must stay exactly the codegen engine unless a second code
+        # generator lands.
+        from lint import DYNAMIC_EXEC_ALLOWLIST
+
+        assert DYNAMIC_EXEC_ALLOWLIST == {"runtime/codegen.py"}
+        lib_root = REPO_ROOT / "src" / "repro"
+        for rel in DYNAMIC_EXEC_ALLOWLIST:
+            module = lib_root / rel
+            assert module.exists(), rel
+            assert "exec(" in module.read_text(encoding="utf-8"), (
+                f"{rel} no longer executes generated code; drop it"
+            )
+
+
 class TestExistingDetectors:
     def test_dead_branch_same_return(self):
         source = (

@@ -5,20 +5,28 @@ Run via ``make bench-json``.  Captures, for every registered system:
 
 * ``tree_launches_per_s``  - the seed's engine (tree-walking
   interpreter, no warm-boot snapshots), the historical baseline;
-* ``cold_launches_per_s``  - compiled engine, first contact with each
-  config (probe/capture boots included);
-* ``warm_launches_per_s``  - compiled engine replaying from warm-boot
-  snapshots (the steady state of functional-test driving);
+* ``engines.<name>.cold_launches_per_s`` - that launch engine meeting
+  each config for the first time (probe/capture boots included);
+* ``engines.<name>.warm_launches_per_s`` - that engine replaying from
+  warm-boot snapshots (the steady state of functional-test driving);
 
-plus the cold 7-system campaign wall-clock under both engines, the
-speedup, and the run's cache/boot counters.  Future PRs append their
+one row per real engine (``compiled``, ``codegen``), plus the cold
+8-system campaign wall-clock under tree/compiled/codegen, the
+speedups, and the run's cache/boot counters.  Future PRs append their
 own runs by regenerating the file and comparing against the committed
 numbers.
+
+``make bench-check`` (``--check``) re-measures warm throughput and
+compares it against the committed file: any system/engine row more
+than ``REGRESSION_TOLERANCE`` below the committed number is reported,
+and - opt-in via ``BENCH_GUARD=1``, because absolute numbers are
+machine-dependent - fails the run, so perf wins stop silently eroding.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -42,7 +50,15 @@ TREE_BASELINE = InterpreterOptions(
 )
 COMPILED = InterpreterOptions(max_steps=400_000, max_virtual_seconds=120.0)
 
+#: Launch engines benchmarked per system (tree is the separate
+#: historical baseline row).
+ENGINES = ("compiled", "codegen")
+
 LAUNCH_REPS = 3
+
+#: bench-check: a warm row may sit this far below the committed number
+#: before it counts as a regression (20%).
+REGRESSION_TOLERANCE = 0.20
 
 
 def dump_payload(payload: dict) -> str:
@@ -66,35 +82,59 @@ def _launch_pass(harness, system) -> int:
     return 1 + len(system.tests)
 
 
-def bench_system_launches(system) -> dict:
+def _bench_engine(system, engine: str) -> dict:
     out: dict[str, float] = {}
 
-    # Tree baseline: the seed's per-launch cost.
-    harness = InjectionHarness(system, options=TREE_BASELINE)
-    started = time.perf_counter()
-    launches = sum(_launch_pass(harness, system) for _ in range(LAUNCH_REPS))
-    out["tree_launches_per_s"] = launches / (time.perf_counter() - started)
-
-    # Cold: compiled engine meeting each config for the first time -
-    # fresh boot records every pass.
+    # Cold: the engine meeting each config for the first time - fresh
+    # boot records every pass.
     started = time.perf_counter()
     launches = 0
     for _ in range(LAUNCH_REPS):
         launches += _launch_pass(
-            InjectionHarness(system, options=COMPILED), system
+            InjectionHarness(system, options=COMPILED, engine=engine),
+            system,
         )
     out["cold_launches_per_s"] = launches / (time.perf_counter() - started)
 
     # Warm: one harness keeps its boot records, so repeated passes
     # replay from snapshots (no launch cache - every launch computes).
-    harness = InjectionHarness(system, options=COMPILED)
+    harness = InjectionHarness(system, options=COMPILED, engine=engine)
     _launch_pass(harness, system)  # warm the records
     started = time.perf_counter()
     launches = sum(_launch_pass(harness, system) for _ in range(LAUNCH_REPS))
     out["warm_launches_per_s"] = launches / (time.perf_counter() - started)
-
-    out["launches_per_pass"] = 1 + len(system.tests)
     return {key: round(value, 2) for key, value in out.items()}
+
+
+def bench_system_launches(system) -> dict:
+    # Tree baseline: the seed's per-launch cost.
+    harness = InjectionHarness(system, options=TREE_BASELINE)
+    started = time.perf_counter()
+    launches = sum(_launch_pass(harness, system) for _ in range(LAUNCH_REPS))
+    tree = launches / (time.perf_counter() - started)
+
+    return {
+        "tree_launches_per_s": round(tree, 2),
+        "launches_per_pass": 1 + len(system.tests),
+        "engines": {
+            engine: _bench_engine(system, engine) for engine in ENGINES
+        },
+    }
+
+
+def bench_warm_only(system) -> dict:
+    """bench-check's fast path: warm rows only, per engine."""
+    out = {}
+    for engine in ENGINES:
+        harness = InjectionHarness(system, options=COMPILED, engine=engine)
+        _launch_pass(harness, system)
+        _launch_pass(harness, system)  # records warm after two passes
+        started = time.perf_counter()
+        launches = sum(
+            _launch_pass(harness, system) for _ in range(LAUNCH_REPS)
+        )
+        out[engine] = round(launches / (time.perf_counter() - started), 2)
+    return out
 
 
 def bench_campaigns() -> dict:
@@ -102,7 +142,7 @@ def bench_campaigns() -> dict:
     for system in iter_systems(None):
         Campaign(system, inference_cache=caches.inference).run_spex()
 
-    def sweep(harness_options, snapshot_cache):
+    def sweep(harness_options, snapshot_cache, engine=None):
         duration = 0.0
         misconfigurations = 0
         for system in iter_systems(None):
@@ -111,6 +151,7 @@ def bench_campaigns() -> dict:
                 inference_cache=caches.inference,
                 harness_options=harness_options,
                 snapshot_cache=snapshot_cache,
+                engine=engine,
             )
             started = time.perf_counter()
             report = campaign.run()
@@ -121,23 +162,96 @@ def bench_campaigns() -> dict:
     tree_time, misconfigs = sweep(TREE_BASELINE, None)
     snapshot_cache = SnapshotCache()
     new_time, _ = sweep(None, snapshot_cache)
+    codegen_cache = SnapshotCache()
+    codegen_time, _ = sweep(None, codegen_cache, engine="codegen")
     return {
         "misconfigurations": misconfigs,
         "tree_wall_time_s": round(tree_time, 3),
         "wall_time_s": round(new_time, 3),
+        "codegen_wall_time_s": round(codegen_time, 3),
         "tree_throughput_misconfigs_per_s": round(misconfigs / tree_time, 2),
         "throughput_misconfigs_per_s": round(misconfigs / new_time, 2),
+        "codegen_throughput_misconfigs_per_s": round(
+            misconfigs / codegen_time, 2
+        ),
         "speedup": round(tree_time / new_time, 2),
+        "codegen_speedup": round(tree_time / codegen_time, 2),
         "boot_stats": snapshot_cache.boot_stats.snapshot(),
     }
 
 
-def main() -> int:
+def _committed_warm_rows(row: dict) -> dict[str, float]:
+    """Warm throughput per engine from one system's committed row,
+    tolerating the pre-engine-matrix schema (flat keys = compiled)."""
+    engines = row.get("engines")
+    if engines:
+        return {
+            engine: stats["warm_launches_per_s"]
+            for engine, stats in engines.items()
+            if "warm_launches_per_s" in stats
+        }
+    if "warm_launches_per_s" in row:
+        return {"compiled": row["warm_launches_per_s"]}
+    return {}
+
+
+def check_regressions() -> int:
+    """bench-check: fresh warm throughput vs the committed file.
+
+    Always prints the comparison; only a `BENCH_GUARD=1` environment
+    turns regressions beyond `REGRESSION_TOLERANCE` into a non-zero
+    exit (the numbers are machine-dependent, so the guard is opt-in).
+    """
+    if not OUTPUT.exists():
+        print(f"no committed {OUTPUT.name}; run `make bench-json` first")
+        return 1
+    committed = json.loads(OUTPUT.read_text(encoding="utf-8"))
+    regressions = []
+    for system in iter_systems(None):
+        committed_row = committed.get("systems", {}).get(system.name)
+        if committed_row is None:
+            continue
+        fresh = bench_warm_only(system)
+        for engine, old_warm in _committed_warm_rows(committed_row).items():
+            new_warm = fresh.get(engine)
+            if new_warm is None:
+                continue
+            floor = old_warm * (1.0 - REGRESSION_TOLERANCE)
+            verdict = "OK" if new_warm >= floor else "REGRESSED"
+            print(
+                f"{system.name}/{engine}: warm {old_warm:.1f} -> "
+                f"{new_warm:.1f} launches/s [{verdict}]"
+            )
+            if new_warm < floor:
+                regressions.append(
+                    f"{system.name}/{engine}: {old_warm:.1f} -> "
+                    f"{new_warm:.1f} launches/s "
+                    f"(> {REGRESSION_TOLERANCE:.0%} below committed)"
+                )
+    if not regressions:
+        print("bench-check: no warm-throughput regressions")
+        return 0
+    print(f"bench-check: {len(regressions)} warm-throughput regression(s):")
+    for line in regressions:
+        print(f"  {line}")
+    if os.environ.get("BENCH_GUARD") == "1":
+        return 1
+    print("(advisory only; set BENCH_GUARD=1 to fail on regressions)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--check" in args:
+        return check_regressions()
     payload = {
         "generated_unix": int(time.time()),
         "engines": {
             "baseline": "tree-walking interpreter, no warm-boot snapshots",
-            "current": "closure-compiled launch plans + warm-boot snapshots",
+            "compiled": "closure-compiled launch plans + warm-boot snapshots",
+            "codegen": (
+                "source-generated Python module + zero-copy snapshot restore"
+            ),
         },
         "systems": {},
     }

@@ -36,6 +36,13 @@ have actually bitten this codebase:
   ``spec.py`` (the compiler - the one sanctioned call site) and the
   systems not yet migrated are allowlisted; shrink the allowlist as
   migrations land.
+* ``dynamic-exec`` - an ``exec(...)`` or ``eval(...)`` call in library
+  code under ``src/repro/``.  Dynamic code execution hides control
+  flow from every static check in this file and is an injection
+  hazard; the one sanctioned site is the source-codegen launch engine
+  (``runtime/codegen.py``), which exists precisely to compile
+  generated launch modules.  Grow the allowlist only for another
+  engine of that kind.
 * ``bare-print`` - a ``print(...)`` call in library code under
   ``src/repro/``.  Library modules have two sanctioned output
   channels: human-facing text flows through the CLI layer
@@ -287,7 +294,6 @@ def _find_regex_recompiles(tree: ast.AST) -> list[tuple[int, str]]:
 IMPERATIVE_SYSTEM_ALLOWLIST = {
     "base.py",
     "spec.py",
-    "mysql.py",
     "postgresql.py",
     "storage_a.py",
 }
@@ -345,6 +351,14 @@ BARE_PRINT_ALLOWLIST = {
 # only for a module that genuinely needs calendar time.
 WALL_CLOCK_ALLOWLIST: set[str] = set()
 
+# Modules under src/repro/ permitted to call exec()/eval(): only the
+# source-codegen launch engine, whose whole job is compiling generated
+# launch modules.  Everything else expresses dynamism through plain
+# dispatch (dicts of callables, closures).
+DYNAMIC_EXEC_ALLOWLIST = {
+    "runtime/codegen.py",
+}
+
 
 def _repro_relative(path: Path) -> str | None:
     """Path below ``src/repro/`` (posix), or None outside the library.
@@ -363,10 +377,11 @@ def _repro_relative(path: Path) -> str | None:
 def _find_observability_escapes(
     path: Path, tree: ast.AST
 ) -> list[tuple[int, str, str]]:
-    """``print(...)`` and ``time.time()`` calls in library modules.
+    """``print(...)``, ``time.time()`` and ``exec``/``eval`` calls in
+    library modules.
 
-    Returns ``(line, code, message)`` triples - this detector owns two
-    codes (``bare-print`` and ``wall-clock``).
+    Returns ``(line, code, message)`` triples - this detector owns
+    three codes (``bare-print``, ``wall-clock`` and ``dynamic-exec``).
     """
     rel = _repro_relative(path)
     if rel is None:
@@ -405,6 +420,20 @@ def _find_observability_escapes(
                     "time.perf_counter()/time.monotonic() for intervals "
                     "and the repro.obs injected clock for trace "
                     "timestamps",
+                )
+            )
+        elif (
+            isinstance(target, ast.Name)
+            and target.id in ("exec", "eval")
+            and rel not in DYNAMIC_EXEC_ALLOWLIST
+        ):
+            findings.append(
+                (
+                    node.lineno,
+                    "dynamic-exec",
+                    f"{target.id}() in library code; dynamic execution "
+                    "is reserved for the codegen launch engine "
+                    "(runtime/codegen.py) - use plain dispatch instead",
                 )
             )
     return findings
