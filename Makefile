@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # this.
 export PYTHONHASHSEED := 0
 
-.PHONY: test test-fast lint bench bench-json bench-check fleet-bench obs-bench trace-demo docs-check quickstart pipeline fleet serve all
+.PHONY: test test-fast lint bench bench-json bench-check chaos chaos-json fleet-bench obs-bench trace-demo docs-check quickstart pipeline fleet serve all
 
 all: test docs-check
 
@@ -44,6 +44,18 @@ bench-json:
 # BENCH_GUARD=1 to fail on any >20% per-system/engine regression.
 bench-check:
 	$(PYTHON) tools/bench_json.py --check
+
+# Chaos tier: every recovery path proven end-to-end (kill/resume
+# checkpoint parity, retry/quarantine, serve load-shedding and circuit
+# breakers), then the recovery-overhead check against the committed
+# BENCH_chaos.json (fault catalog in docs/ROBUSTNESS.md).
+chaos:
+	$(PYTHON) -m pytest tests/chaos -x -q
+	$(PYTHON) tools/bench_json.py --chaos --check
+
+# Regenerate BENCH_chaos.json (recovery overhead vs fault-free twin).
+chaos-json:
+	$(PYTHON) tools/bench_json.py --chaos
 
 # Fleet-scale config-checking benchmark only: configs/sec, executor
 # speedup over serial, compiled-checker cache hit rate.

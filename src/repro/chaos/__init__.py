@@ -1,0 +1,103 @@
+"""Deterministic fault injection for the reproduction's own stack.
+
+The paper's injection pillar plants misconfigurations into subject
+systems and watches how they react; ``repro.chaos`` points the same
+idea back at the infrastructure.  A :class:`ChaosSchedule` is a pure,
+seeded decision function: for a fault *kind* and a shard *key* it
+answers "does this fault fire here?" by hashing ``seed|kind|key``
+against the kind's rate.  Pure and picklable, so the same schedule
+object crosses the process-executor boundary and both sides agree on
+every decision — two runs with the same seed inject byte-identical
+fault patterns, which is what lets the chaos tier assert that a
+faulted-and-recovered run reports *bit-identically* to a fault-free
+one.
+
+Fault catalog (see docs/ROBUSTNESS.md):
+
+* ``stall``   — the shard sleeps `stall_seconds` before running, long
+  enough to trip the supervisor's watchdog deadline.
+* ``error``   — the shard raises :class:`ChaosError` instead of
+  running (a crashed task, a poisoned input).
+* ``kill``    — inside a process-pool worker the worker SIGKILLs
+  itself (the real `BrokenProcessPool` path); in thread/serial
+  context, where a SIGKILL would take down the caller, it degrades to
+  a raised :class:`ChaosError` tagged as a simulated kill.
+
+Retry keys include the attempt number, so a shard that faults on its
+first attempt is (by construction of the hash) independently diced on
+its second — recovery paths get exercised without any mutable
+schedule state.
+
+Usage::
+
+    from repro.chaos import ChaosSchedule
+
+    schedule = ChaosSchedule(seed=7, error_rate=0.2)
+    schedule.should("error", "mysql:512|a1")   # deterministic bool
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+#: Denominator for the hash-threshold dice: 2**48 keeps the float
+#: conversion exact and the decision stable across platforms.
+_DICE = float(2**48)
+
+
+class ChaosError(RuntimeError):
+    """An injected fault (distinguishable from organic failures)."""
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Seeded, stateless fault schedule.
+
+    Rates are probabilities in [0, 1] evaluated independently per
+    (kind, key) pair.  `stall_seconds` is how long a fired ``stall``
+    sleeps — pick it longer than the supervisor's watchdog deadline
+    to exercise the timeout path, shorter to exercise plain latency.
+    """
+
+    seed: int = 0
+    stall_rate: float = 0.0
+    error_rate: float = 0.0
+    kill_rate: float = 0.0
+    stall_seconds: float = 0.05
+
+    def should(self, kind: str, key: str) -> bool:
+        """Does fault `kind` fire at `key`?  Pure and deterministic."""
+        rate = getattr(self, f"{kind}_rate")
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        material = f"{self.seed}|{kind}|{key}".encode("utf-8")
+        roll = int.from_bytes(
+            hashlib.sha256(material).digest()[:6], "big"
+        )
+        return roll / _DICE < rate
+
+    def perturb(self, key: str, allow_kill: bool = False) -> None:
+        """Apply whichever faults fire at `key`, most violent first.
+
+        `allow_kill` is True only inside process-pool workers, where a
+        SIGKILL hits a disposable process; elsewhere a fired kill
+        degrades to a raised :class:`ChaosError` so the caller's
+        process survives to supervise the recovery.
+        """
+        if self.should("kill", key):
+            if allow_kill:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise ChaosError(f"chaos: simulated worker kill at {key}")
+        if self.should("stall", key):
+            time.sleep(self.stall_seconds)
+        if self.should("error", key):
+            raise ChaosError(f"chaos: injected shard error at {key}")
+
+
+__all__ = ["ChaosError", "ChaosSchedule"]

@@ -31,6 +31,8 @@ Usage::
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import random
 import time
 from dataclasses import dataclass, field
@@ -49,6 +51,7 @@ from repro.checker.corpus import (
 )
 from repro.checker.validate import validate_config
 from repro.obs import get_registry, metrics_delta, span
+from repro.resilience import CheckpointStore, FailedShard, RetryPolicy
 
 DEFAULT_CHUNK_SIZE = 256
 
@@ -138,6 +141,10 @@ class FleetReport:
     chunk_size: int
     cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
     agreement: AgreementReport | None = None
+    # Shards that exhausted their retry budget under a RetryPolicy; a
+    # degraded run reports them instead of aborting (their configs are
+    # simply absent from the folded tallies).
+    failed_shards: list[FailedShard] = field(default_factory=list)
 
     @property
     def total_configs(self) -> int:
@@ -177,6 +184,9 @@ class FleetReport:
             "agreement": (
                 self.agreement.summary_dict() if self.agreement else None
             ),
+            "failed_shards": [
+                shard.summary_dict() for shard in self.failed_shards
+            ],
         }
 
 
@@ -205,12 +215,23 @@ def run_fleet(
     caches=None,
     agreement_sample: int = 0,
     engine: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+    chaos=None,
+    checkpoint: CheckpointStore | None = None,
 ) -> FleetReport:
     """Validate `size` synthetic configs per target system.
 
     Diagnostics are deterministic for a fixed (seed, systems, size,
     mistake_rate) regardless of executor: chunk results fold back in
     submission order and each config is a pure function of its index.
+
+    `retry_policy` supervises chunk execution (worker-crash recovery,
+    watchdog timeouts, quarantine into `failed_shards`); `chaos` is a
+    `repro.chaos.ChaosSchedule` injecting faults into chunk tasks;
+    `checkpoint` persists every completed chunk so a killed run
+    resumes from its last checkpoint — the run key content-addresses
+    the full spec (systems, size, seed, rates, option fingerprints,
+    pool digests), so a checkpoint can never leak across specs.
     """
     from repro.pipeline.cache import PipelineCaches
     from repro.pipeline.executor import ProcessExecutor, resolve_executor
@@ -256,19 +277,66 @@ def run_fleet(
                     (system.name, start, min(chunk_size, size - start))
                 )
 
-    with span(
-        "fleet.validate", executor=chosen.name, chunks=len(tasks)
-    ):
-        if isinstance(chosen, ProcessExecutor) and len(tasks) > 1:
-            chunk_results = _run_chunks_in_processes(
-                chosen, contexts, tasks, options, seed, mistake_rate, caches
-            )
-        else:
-            chunk_results = chosen.map(
-                lambda task: _validate_chunk_inline(
-                    contexts[task[0]], task, seed, mistake_rate
-                ),
-                tasks,
+    run_key = _fleet_run_key(
+        contexts, size, seed, mistake_rate, chunk_size, options
+    )
+    restored: dict[int, tuple[list[ConfigOutcome], float]] = {}
+    pending: list[tuple[int, tuple[str, int, int]]] = []
+    if checkpoint is not None:
+        registry = get_registry()
+        for position, task in enumerate(tasks):
+            blob = checkpoint.load(run_key, _task_shard_key(task))
+            decoded = _decode_chunk_payload(blob) if blob else None
+            if decoded is not None:
+                restored[position] = decoded
+                registry.inc("resilience.checkpoint_hits")
+            else:
+                pending.append((position, task))
+    else:
+        pending = list(enumerate(tasks))
+
+    failed_shards: list[FailedShard] = []
+    executed: dict[int, tuple[list[ConfigOutcome], float]] = {}
+    if pending:
+        pending_tasks = [task for _, task in pending]
+        with span(
+            "fleet.validate", executor=chosen.name, chunks=len(pending_tasks)
+        ):
+            if isinstance(chosen, ProcessExecutor) and len(pending_tasks) > 1:
+                chunk_results, failures = _run_chunks_in_processes(
+                    chosen,
+                    contexts,
+                    pending_tasks,
+                    options,
+                    seed,
+                    mistake_rate,
+                    caches,
+                    retry_policy=retry_policy,
+                    chaos=chaos,
+                    checkpoint=checkpoint,
+                    run_key=run_key,
+                )
+            else:
+                chunk_results, failures = _run_chunks_inline(
+                    chosen,
+                    contexts,
+                    pending_tasks,
+                    seed,
+                    mistake_rate,
+                    retry_policy=retry_policy,
+                    chaos=chaos,
+                    checkpoint=checkpoint,
+                    run_key=run_key,
+                )
+        for (position, task), result in zip(pending, chunk_results):
+            if result is not None:
+                executed[position] = result
+        # Re-anchor quarantine records on the shard's stable identity
+        # (system:start), not its position in this run's pending list.
+        for failure in failures:
+            _, task = pending[failure.index]
+            failed_shards.append(
+                dataclasses.replace(failure, label=_task_shard_key(task))
             )
 
     # Fold chunk results back in submission order (determinism) while
@@ -276,8 +344,10 @@ def run_fleet(
     folds: dict[str, _SystemFold] = {
         name: _SystemFold() for name in contexts
     }
-    for (name, _, _), (outcomes, duration) in zip(tasks, chunk_results):
-        folds[name].absorb(outcomes, duration)
+    for position, (name, _, _) in enumerate(tasks):
+        result = restored.get(position) or executed.get(position)
+        if result is not None:
+            folds[name].absorb(*result)
 
     results = [
         fold.result(name, contexts[name].from_cache)
@@ -308,7 +378,160 @@ def run_fleet(
         chunk_size=chunk_size,
         cache_stats=caches.stats(),
         agreement=agreement,
+        failed_shards=failed_shards,
     )
+
+
+# -- checkpointing ------------------------------------------------------------
+
+
+def _fleet_run_key(
+    contexts: dict[str, _SystemContext],
+    size: int,
+    seed: int,
+    mistake_rate: float,
+    chunk_size: int,
+    options: SpexOptions,
+) -> str:
+    """Content-address the full run spec: any change to the targeted
+    systems, corpus shape, seeds, inference options or mistake pools
+    yields a different key, so stale checkpoints can never fold in."""
+    digests = "|".join(
+        f"{name}:{contexts[name].digest}" for name in sorted(contexts)
+    )
+    return (
+        f"fleet|{size}|{seed}|{mistake_rate!r}|{chunk_size}|"
+        f"{options.fingerprint()}|{digests}"
+    )
+
+
+def _task_shard_key(task: tuple[str, int, int]) -> str:
+    name, start, count = task
+    return f"{name}:{start}:{count}"
+
+
+def _encode_chunk_payload(
+    outcomes: list[ConfigOutcome], duration: float
+) -> bytes:
+    """JSON-frame one chunk's outcomes.  Floats round-trip exactly
+    through json (repr-based), so a resumed fold is bit-identical."""
+    return json.dumps(
+        {
+            "duration": duration,
+            "outcomes": [
+                [
+                    o.index,
+                    o.config_id,
+                    o.planted_kind,
+                    o.flagged,
+                    o.errors,
+                    o.warnings,
+                    list(o.error_kinds),
+                ]
+                for o in outcomes
+            ],
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def _decode_chunk_payload(
+    blob: bytes | None,
+) -> tuple[list[ConfigOutcome], float] | None:
+    """Inverse of `_encode_chunk_payload`; None on any malformed blob
+    (the store already digest-verifies, this guards schema drift)."""
+    if blob is None:
+        return None
+    try:
+        data = json.loads(blob.decode("utf-8"))
+        outcomes = [
+            ConfigOutcome(
+                index=index,
+                config_id=config_id,
+                planted_kind=planted_kind,
+                flagged=flagged,
+                errors=errors,
+                warnings=warnings,
+                error_kinds=tuple(error_kinds),
+            )
+            for (
+                index,
+                config_id,
+                planted_kind,
+                flagged,
+                errors,
+                warnings,
+                error_kinds,
+            ) in data["outcomes"]
+        ]
+        return outcomes, data["duration"]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _save_chunk_checkpoint(
+    checkpoint: CheckpointStore | None,
+    run_key: str,
+    task: tuple[str, int, int],
+    outcomes: list[ConfigOutcome],
+    duration: float,
+) -> None:
+    if checkpoint is None:
+        return
+    checkpoint.save(
+        run_key,
+        _task_shard_key(task),
+        _encode_chunk_payload(outcomes, duration),
+    )
+    get_registry().inc("resilience.checkpoint_saves")
+
+
+def _run_chunks_inline(
+    executor,
+    contexts: dict[str, _SystemContext],
+    tasks: list[tuple[str, int, int]],
+    seed: int,
+    mistake_rate: float,
+    retry_policy: RetryPolicy | None,
+    chaos,
+    checkpoint: CheckpointStore | None,
+    run_key: str,
+) -> tuple[list, list[FailedShard]]:
+    """Serial/thread chunk execution, with per-chunk checkpoint saves
+    *inside* the task so completed chunks survive a mid-run kill."""
+    from repro.pipeline.executor import _chaos_invoke
+
+    def task_fn(task):
+        outcomes, duration = _validate_chunk_inline(
+            contexts[task[0]], task, seed, mistake_rate
+        )
+        _save_chunk_checkpoint(
+            checkpoint, run_key, task, outcomes, duration
+        )
+        return outcomes, duration
+
+    if retry_policy is not None:
+        supervised = executor.map_resilient(
+            task_fn, tasks, retry_policy, chaos=chaos, label="fleet"
+        )
+        return supervised.results, supervised.failures
+    if chaos is not None:
+        # Chaos with no retry budget: faults abort the run (the
+        # checkpointed chunks are what the resume test recovers from).
+        return (
+            executor.map(
+                lambda indexed: _chaos_invoke(
+                    task_fn,
+                    indexed[1],
+                    chaos,
+                    f"fleet:{indexed[0]}|a1",
+                    False,
+                ),
+                list(enumerate(tasks)),
+            ),
+            [],
+        )
+    return executor.map(task_fn, tasks), []
 
 
 class _SystemFold:
@@ -494,7 +717,13 @@ def _run_chunks_in_processes(
     seed: int,
     mistake_rate: float,
     caches,
-) -> list[tuple[list[ConfigOutcome], float]]:
+    retry_policy: RetryPolicy | None = None,
+    chaos=None,
+    checkpoint: CheckpointStore | None = None,
+    run_key: str = "",
+) -> tuple[list, list[FailedShard]]:
+    from repro.pipeline.executor import _chaos_call
+
     options_fp = options.fingerprint()
     seed_keys = []
     for name, context in contexts.items():
@@ -504,6 +733,7 @@ def _run_chunks_in_processes(
         )
         _FLEET_SEEDS[key] = spex_report
         seed_keys.append(key)
+    ckpt_root = str(checkpoint.root) if checkpoint is not None else None
     worker_tasks = [
         (
             name,
@@ -514,20 +744,55 @@ def _run_chunks_in_processes(
             count,
             contexts[name].digest,
             tuple(sorted(contexts[name].mix.items())),
+            # Workers checkpoint their own completed chunks, so a
+            # mid-run kill of the parent loses nothing already folded.
+            (ckpt_root, run_key, _task_shard_key((name, start, count)))
+            if ckpt_root is not None
+            else None,
         )
         for name, start, count in tasks
     ]
+    failures: list[FailedShard] = []
     try:
-        raw = executor.map(_validate_chunk_by_name, worker_tasks)
+        if retry_policy is not None:
+            supervised = executor.map_resilient(
+                _validate_chunk_by_name,
+                worker_tasks,
+                retry_policy,
+                chaos=chaos,
+                label="fleet",
+            )
+            raw = supervised.results
+            failures = supervised.failures
+        elif chaos is not None:
+            raw = executor.map(
+                _chaos_call,
+                [
+                    (
+                        _validate_chunk_by_name,
+                        task,
+                        chaos,
+                        f"fleet:{position}|a1",
+                        True,
+                    )
+                    for position, task in enumerate(worker_tasks)
+                ],
+            )
+        else:
+            raw = executor.map(_validate_chunk_by_name, worker_tasks)
     finally:
         for key in seed_keys:
             _FLEET_SEEDS.pop(key, None)
-    out: list[tuple[list[ConfigOutcome], float]] = []
-    for outcomes, duration, checker_delta, obs_delta in raw:
+    out: list = []
+    for entry in raw:
+        if entry is None:  # quarantined shard
+            out.append(None)
+            continue
+        outcomes, duration, checker_delta, obs_delta = entry
         caches.checkers.absorb_stats(checker_delta)
         get_registry().absorb(obs_delta)
         out.append((outcomes, duration))
-    return out
+    return out, failures
 
 
 def _fleet_worker_context(name: str, options: SpexOptions):
@@ -569,6 +834,7 @@ def _validate_chunk_by_name(task):
         count,
         parent_digest,
         mix_items,
+        ckpt_spec,
     ) = task
     system, checker, pool, digest, template, stats_delta = (
         _fleet_worker_context(name, options)
@@ -595,6 +861,12 @@ def _validate_chunk_by_name(task):
         )
     duration = time.perf_counter() - begun
     registry.observe("fleet.chunk_seconds", duration)
+    if ckpt_spec is not None:
+        ckpt_root, run_key, shard_key = ckpt_spec
+        CheckpointStore(ckpt_root).save(
+            run_key, shard_key, _encode_chunk_payload(outcomes, duration)
+        )
+        registry.inc("resilience.checkpoint_saves")
     return (
         outcomes,
         duration,

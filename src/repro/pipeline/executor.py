@@ -16,14 +16,27 @@ Three strategies cover the deployment spectrum:
 
 All executors preserve input order in their results, so downstream
 aggregation never depends on scheduling.
+
+Beyond plain `map`, every executor offers `map_resilient`: a
+supervised fan-out that detects worker death (`BrokenProcessPool`)
+and shard watchdog timeouts, re-enqueues failed shards with capped
+exponential backoff + deterministic jitter (`RetryPolicy`), and
+quarantines shards that exhaust their attempts into structured
+`FailedShard` records instead of aborting the run.  Recovery events
+surface as ``resilience.*`` counters through ``repro.obs``.
 """
 
 from __future__ import annotations
 
 import gc
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import get_registry
+from repro.resilience import FailedShard, ResilientMapResult, RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -33,12 +46,45 @@ def _default_workers() -> int:
     return max(2, min(8, (os.cpu_count() or 2)))
 
 
+def _chaos_invoke(fn, item, chaos, key: str, allow_kill: bool):
+    """Run one shard, letting an armed chaos schedule perturb it
+    first.  Module-level (not a closure) so process pools can pickle
+    it; `allow_kill` is True only when this runs inside a disposable
+    pool worker."""
+    if chaos is not None:
+        chaos.perturb(key, allow_kill=allow_kill)
+    return fn(item)
+
+
+def _chaos_call(packed):
+    """Pickle-friendly single-argument form of `_chaos_invoke`."""
+    return _chaos_invoke(*packed)
+
+
+def _shard_label(label: str, index: int) -> str:
+    return f"{label}:{index}" if label else str(index)
+
+
 class Executor:
     """Strategy interface: apply `fn` to each item, results in order."""
 
     name = "base"
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        raise NotImplementedError
+
+    def map_resilient(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        policy: RetryPolicy,
+        chaos=None,
+        label: str = "",
+    ) -> ResilientMapResult:
+        """Supervised `map`: per-shard retries with backoff, watchdog
+        timeouts where enforceable, quarantine after `max_attempts`.
+        Results stay aligned with `items`; a quarantined shard's slot
+        is None and its `FailedShard` lands in ``failures``."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -50,6 +96,49 @@ class SerialExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         return [fn(item) for item in items]
+
+    def map_resilient(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        policy: RetryPolicy,
+        chaos=None,
+        label: str = "",
+    ) -> ResilientMapResult:
+        """Serial supervision: exceptions retry with backoff; there is
+        no watchdog (a serial shard cannot be interrupted from the
+        same thread), so `policy.timeout` is not enforced here."""
+        items = list(items)
+        registry = get_registry()
+        results: list = [None] * len(items)
+        failures: list[FailedShard] = []
+        retries = 0
+        for index, item in enumerate(items):
+            shard = _shard_label(label, index)
+            for attempt in range(1, policy.max_attempts + 1):
+                try:
+                    results[index] = _chaos_invoke(
+                        fn, item, chaos, f"{shard}|a{attempt}", False
+                    )
+                    break
+                except Exception as exc:
+                    registry.inc("resilience.shard_failures")
+                    if attempt >= policy.max_attempts:
+                        registry.inc("resilience.quarantined")
+                        failures.append(
+                            FailedShard(
+                                index=index,
+                                label=shard,
+                                attempts=attempt,
+                                error_kind=type(exc).__name__,
+                                detail=str(exc),
+                            )
+                        )
+                    else:
+                        retries += 1
+                        registry.inc("resilience.retries")
+                        time.sleep(policy.delay_for(attempt, shard))
+        return ResilientMapResult(results, failures, retries)
 
 
 class ThreadExecutor(Executor):
@@ -64,6 +153,30 @@ class ThreadExecutor(Executor):
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items))
+
+    def map_resilient(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        policy: RetryPolicy,
+        chaos=None,
+        label: str = "",
+    ) -> ResilientMapResult:
+        """Thread supervision: watchdog timeouts are enforced on the
+        `future.result` wait.  A timed-out shard's thread cannot be
+        killed — it keeps running to completion in the background —
+        but its result is discarded and the shard is re-enqueued, so
+        one stalled shard never wedges the run."""
+        return _supervise_pool(
+            lambda workers: ThreadPoolExecutor(max_workers=workers),
+            self.max_workers,
+            fn,
+            items,
+            policy,
+            chaos,
+            label,
+            allow_kill=False,
+        )
 
 
 def _freeze_inherited_heap() -> None:
@@ -95,6 +208,129 @@ class ProcessExecutor(Executor):
             max_workers=workers, initializer=_freeze_inherited_heap
         ) as pool:
             return list(pool.map(fn, items))
+
+    def map_resilient(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        policy: RetryPolicy,
+        chaos=None,
+        label: str = "",
+    ) -> ResilientMapResult:
+        """Process supervision: a SIGKILL'd worker surfaces as
+        `BrokenProcessPool` — every unfinished shard of that pool
+        counts one failed attempt and the pool is rebuilt for the next
+        round.  Watchdog timeouts abandon the stalled pool (shut down
+        without waiting) and re-enqueue the unfinished shards on a
+        fresh one."""
+        return _supervise_pool(
+            lambda workers: ProcessPoolExecutor(
+                max_workers=workers, initializer=_freeze_inherited_heap
+            ),
+            self.max_workers,
+            fn,
+            items,
+            policy,
+            chaos,
+            label,
+            allow_kill=True,
+        )
+
+
+def _supervise_pool(
+    pool_factory,
+    max_workers: int,
+    fn,
+    items: Iterable,
+    policy: RetryPolicy,
+    chaos,
+    label: str,
+    allow_kill: bool,
+) -> ResilientMapResult:
+    """Round-based supervision shared by the thread and process
+    executors.
+
+    Each round submits every pending shard to a fresh pool and waits
+    for each future up to `policy.timeout` (measured per wait — an
+    upper bound on the shard's run time, since all futures execute
+    concurrently).  Failures are retried with capped backoff +
+    deterministic jitter on the next round; shards that exhaust
+    `policy.max_attempts` are quarantined as `FailedShard` records.
+    """
+    items = list(items)
+    registry = get_registry()
+    results: list = [None] * len(items)
+    finished = [False] * len(items)
+    attempts = [0] * len(items)
+    last_error: dict[int, tuple[str, str]] = {}
+    failures: list[FailedShard] = []
+    retries = 0
+    pending = list(range(len(items)))
+    while pending:
+        pool = pool_factory(min(max_workers, len(pending)))
+        abandoned = False
+        futures = {}
+        for index in pending:
+            attempts[index] += 1
+            shard = _shard_label(label, index)
+            key = f"{shard}|a{attempts[index]}"
+            futures[index] = pool.submit(
+                _chaos_invoke, fn, items[index], chaos, key, allow_kill
+            )
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=policy.timeout)
+                finished[index] = True
+            except TimeoutError:
+                if future.done():  # the shard itself raised TimeoutError
+                    registry.inc("resilience.shard_failures")
+                    last_error[index] = ("TimeoutError", "shard raised")
+                else:
+                    abandoned = True
+                    registry.inc("resilience.timeouts")
+                    last_error[index] = (
+                        "timeout",
+                        f"exceeded the {policy.timeout}s watchdog deadline",
+                    )
+            except BrokenProcessPool as exc:
+                # One worker died (SIGKILL, OOM, segfault); the pool is
+                # poisoned and every unfinished sibling fails with it.
+                registry.inc("resilience.worker_crashes")
+                last_error[index] = (type(exc).__name__, str(exc))
+            except Exception as exc:
+                registry.inc("resilience.shard_failures")
+                last_error[index] = (type(exc).__name__, str(exc))
+        # A stalled shard's worker cannot be joined promptly: abandon
+        # the pool (cancel what never started, don't wait for the
+        # stall) and let the fresh pool take the retries.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        still_pending = []
+        for index in pending:
+            if finished[index]:
+                continue
+            shard = _shard_label(label, index)
+            if attempts[index] >= policy.max_attempts:
+                registry.inc("resilience.quarantined")
+                kind, detail = last_error.get(index, ("unknown", ""))
+                failures.append(
+                    FailedShard(
+                        index=index,
+                        label=shard,
+                        attempts=attempts[index],
+                        error_kind=kind,
+                        detail=detail,
+                    )
+                )
+            else:
+                still_pending.append(index)
+        if still_pending:
+            retries += len(still_pending)
+            registry.inc("resilience.retries", len(still_pending))
+            time.sleep(
+                policy.delay_for(attempts[still_pending[0]], label)
+            )
+        pending = still_pending
+    return ResilientMapResult(results, failures, retries)
 
 
 _EXECUTORS: dict[str, Callable[[int | None], Executor]] = {

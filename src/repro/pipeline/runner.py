@@ -30,6 +30,8 @@ Usage::
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -53,8 +55,10 @@ from repro.pipeline.executor import (
     Executor,
     ProcessExecutor,
     ThreadExecutor,
+    _chaos_call,
     resolve_executor,
 )
+from repro.resilience import CheckpointStore, FailedShard, RetryPolicy
 from repro.systems.registry import get_system, iter_systems, system_names
 
 
@@ -66,6 +70,7 @@ class SystemRun:
     report: CampaignReport
     duration: float  # seconds spent producing the report; 0 if cached
     from_cache: bool = False
+    from_checkpoint: bool = False  # restored from a resumable-run store
 
 
 @dataclass
@@ -76,6 +81,10 @@ class PipelineReport:
     executor: str
     wall_time: float
     cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Campaigns that exhausted their retry budget under a RetryPolicy;
+    # a degraded run reports them instead of aborting (their systems
+    # are simply absent from `runs`).
+    failed_shards: list[FailedShard] = field(default_factory=list)
 
     def report_for(self, name: str) -> CampaignReport:
         for run in self.runs:
@@ -121,19 +130,44 @@ class PipelineReport:
                     "vulnerabilities": run.report.total(),
                     "duration": run.duration,
                     "from_cache": run.from_cache,
+                    "from_checkpoint": run.from_checkpoint,
                 }
                 for run in self.runs
             ],
             "cache_stats": self.cache_stats,
+            "failed_shards": [
+                shard.summary_dict() for shard in self.failed_shards
+            ],
         }
 
 
+def _save_campaign_checkpoint(
+    ckpt_spec: tuple[str, str, str] | None, report: CampaignReport
+) -> None:
+    """Persist one finished (slimmed) campaign report, keyed by the
+    campaign fingerprint within the sweep's run key.  Runs inside the
+    task (worker or inline), so completed campaigns survive a mid-run
+    kill of the sweep."""
+    if ckpt_spec is None:
+        return
+    root, run_key, shard_key = ckpt_spec
+    CheckpointStore(root).save(run_key, shard_key, pickle.dumps(report))
+    get_registry().inc("resilience.checkpoint_saves")
+
+
 def _run_campaign_by_name(
-    task: tuple[str, SpexOptions, str, int | None, str | None]
+    task: tuple[
+        str,
+        SpexOptions,
+        str,
+        int | None,
+        str | None,
+        tuple[str, str, str] | None,
+    ]
 ):
     """Process-pool entry point: rebuild the system in the worker (the
     task crosses a pickle boundary, the `SubjectSystem` does not)."""
-    name, spex_options, batch_executor, max_workers, engine = task
+    name, spex_options, batch_executor, max_workers, engine, ckpt_spec = task
     started = time.perf_counter()
     # Worker processes never nest another process pool: batch-level
     # "process" sharding degrades to serial inside a system-level
@@ -154,6 +188,7 @@ def _run_campaign_by_name(
     )
     report = campaign.run()
     slim_verdicts(report.verdicts)
+    _save_campaign_checkpoint(ckpt_spec, report)
     return (
         name,
         report,
@@ -194,6 +229,16 @@ class CampaignPipeline:
     # "compiled" | "codegen"); a plain string, so it survives the
     # process-executor pickle boundary.  None keeps the default.
     engine: str | None = None
+    # Resilience (see docs/ROBUSTNESS.md).  `retry_policy` supervises
+    # campaign tasks: worker crashes and watchdog timeouts re-enqueue
+    # with backoff, exhausted campaigns quarantine into
+    # `PipelineReport.failed_shards`.  `chaos` is a
+    # `repro.chaos.ChaosSchedule` injecting faults into campaign tasks.
+    # `checkpoint` persists every finished campaign so a killed sweep
+    # resumes from its last checkpoint with bit-identical reports.
+    retry_policy: RetryPolicy | None = None
+    chaos: object = None
+    checkpoint: CheckpointStore | None = None
 
     def run(
         self,
@@ -220,8 +265,10 @@ class CampaignPipeline:
         started = time.perf_counter()
 
         runs: dict[str, SystemRun] = {}
-        # (system name, spex key, campaign key) for cache misses.
-        pending: list[tuple[str, str, str]] = []
+        # (system name, spex key, campaign key) for every target; the
+        # run key content-addresses the sweep, so a checkpoint can only
+        # resume the exact same spec.
+        keyed: list[tuple[str, str, str]] = []
         for system in systems:
             spex_key = self.caches.inference.key_for(
                 system, self.spex_options
@@ -229,47 +276,110 @@ class CampaignPipeline:
             campaign_key = campaign_fingerprint(
                 spex_key, self.generators.roster()
             )
+            keyed.append((system.name, spex_key, campaign_key))
+        run_key = "pipeline|" + "|".join(
+            sorted(key for _, _, key in keyed)
+        )
+
+        pending: list[tuple[str, str, str]] = []
+        for name, spex_key, campaign_key in keyed:
             cached = (
                 self.caches.campaigns.get(campaign_key)
                 if self.reuse_campaigns
                 else None
             )
             if cached is not None:
-                runs[system.name] = SystemRun(
-                    system.name, cached, 0.0, from_cache=True
+                runs[name] = SystemRun(name, cached, 0.0, from_cache=True)
+                continue
+            restored = self._restore_checkpoint(run_key, campaign_key)
+            if restored is not None:
+                if self.reuse_campaigns:
+                    self.caches.campaigns.put(campaign_key, restored)
+                self._warm_inference_cache(spex_key, restored)
+                runs[name] = SystemRun(
+                    name, restored, 0.0, from_checkpoint=True
                 )
-            else:
-                pending.append((system.name, spex_key, campaign_key))
+                continue
+            pending.append((name, spex_key, campaign_key))
 
+        failed_shards: list[FailedShard] = []
         if pending:
             with span(
                 "pipeline.execute",
                 executor=chosen.name,
                 campaigns=len(pending),
             ):
-                executed = self._execute(chosen, pending)
-            for (name, spex_key, campaign_key), (report, duration) in zip(
+                executed, failures = self._execute(chosen, pending, run_key)
+            for (name, spex_key, campaign_key), entry in zip(
                 pending, executed
             ):
+                if entry is None:  # quarantined campaign
+                    continue
+                report, duration = entry
                 if self.reuse_campaigns:
                     self.caches.campaigns.put(campaign_key, report)
                 self._warm_inference_cache(spex_key, report)
                 runs[name] = SystemRun(name, report, duration)
+            # Re-anchor quarantine records on the system's name, not
+            # its position in this run's pending list.
+            for failure in failures:
+                failed_shards.append(
+                    dataclasses.replace(
+                        failure, label=pending[failure.index][0]
+                    )
+                )
 
-        ordered = [runs[system.name] for system in systems]
+        ordered = [
+            runs[system.name]
+            for system in systems
+            if system.name in runs
+        ]
         return PipelineReport(
             runs=ordered,
             executor=chosen.name,
             wall_time=time.perf_counter() - started,
             cache_stats=self.caches.stats(),
+            failed_shards=failed_shards,
         )
 
     # -- execution strategies ------------------------------------------------
 
+    def _restore_checkpoint(
+        self, run_key: str, campaign_key: str
+    ) -> CampaignReport | None:
+        """A checkpointed campaign report, or None (no store, missing
+        shard, or a payload that no longer unpickles — schema drift
+        between the writer's code and ours reads as a plain miss)."""
+        if self.checkpoint is None:
+            return None
+        blob = self.checkpoint.load(run_key, campaign_key)
+        if blob is None:
+            return None
+        try:
+            report = pickle.loads(blob)
+        except Exception:
+            return None
+        if not isinstance(report, CampaignReport):
+            return None
+        get_registry().inc("resilience.checkpoint_hits")
+        return report
+
     def _execute(
-        self, executor: Executor, pending: list[tuple[str, str, str]]
-    ) -> list[tuple[CampaignReport, float]]:
+        self,
+        executor: Executor,
+        pending: list[tuple[str, str, str]],
+        run_key: str,
+    ) -> tuple[list, list[FailedShard]]:
         names = [name for name, _, _ in pending]
+        ckpt_root = (
+            str(self.checkpoint.root) if self.checkpoint is not None else None
+        )
+        ckpt_specs = [
+            (ckpt_root, run_key, campaign_key)
+            if ckpt_root is not None
+            else None
+            for _, _, campaign_key in pending
+        ]
         if isinstance(executor, ProcessExecutor):
             self._check_process_compatible()
             # Only names cross the pickle boundary: an Executor
@@ -283,18 +393,26 @@ class CampaignPipeline:
                     batch_name,
                     self.max_workers,
                     self.engine,
+                    spec,
                 )
-                for name in names
+                for name, spec in zip(names, ckpt_specs)
             ]
+            raw, failures = self._dispatch(
+                executor, _run_campaign_by_name, tasks, allow_kill=True
+            )
             out = []
-            for (
-                _,
-                report,
-                duration,
-                launch_stats,
-                boot_stats,
-                obs_delta,
-            ) in executor.map(_run_campaign_by_name, tasks):
+            for entry in raw:
+                if entry is None:  # quarantined campaign
+                    out.append(None)
+                    continue
+                (
+                    _,
+                    report,
+                    duration,
+                    launch_stats,
+                    boot_stats,
+                    obs_delta,
+                ) = entry
                 # Worker launch/snapshot caches die with the worker;
                 # their counters still belong in the report footer.
                 # Worker telemetry folds into the parent registry the
@@ -303,7 +421,7 @@ class CampaignPipeline:
                 self.caches.snapshots.absorb_boot_stats(boot_stats)
                 get_registry().absorb(obs_delta)
                 out.append((report, duration))
-            return out
+            return out, failures
         batch_spec = self.batch_executor or "serial"
         if isinstance(executor, ThreadExecutor) and (
             batch_spec == "process" or isinstance(batch_spec, ProcessExecutor)
@@ -312,9 +430,55 @@ class CampaignPipeline:
             # inherit mid-held locks into the children; campaigns
             # fanned out on threads shard their batches in-line.
             batch_spec = "serial"
-        return executor.map(
-            lambda name: self._run_one(name, batch_spec), names
+
+        def task_fn(indexed):
+            index, name = indexed
+            report, duration = self._run_one(name, batch_spec)
+            if ckpt_specs[index] is not None:
+                slim_verdicts(report.verdicts)
+                _save_campaign_checkpoint(ckpt_specs[index], report)
+            return report, duration
+
+        return self._dispatch(
+            executor, task_fn, list(enumerate(names)), allow_kill=False
         )
+
+    def _dispatch(
+        self, executor: Executor, fn, tasks: list, allow_kill: bool
+    ) -> tuple[list, list[FailedShard]]:
+        """Fan campaign tasks out under the configured resilience mode:
+        supervised (`retry_policy`), chaos-exposed (faults abort — the
+        checkpoint store is what a resume recovers from), or plain."""
+        if self.retry_policy is not None:
+            supervised = executor.map_resilient(
+                fn,
+                tasks,
+                self.retry_policy,
+                chaos=self.chaos,
+                label="pipeline",
+            )
+            return supervised.results, supervised.failures
+        if self.chaos is not None:
+            # ProcessExecutor.map degrades to in-parent execution for a
+            # single task, where a SIGKILL would take down the sweep.
+            kill_ok = allow_kill and len(tasks) > 1
+            return (
+                executor.map(
+                    _chaos_call,
+                    [
+                        (
+                            fn,
+                            task,
+                            self.chaos,
+                            f"pipeline:{position}|a1",
+                            kill_ok,
+                        )
+                        for position, task in enumerate(tasks)
+                    ],
+                ),
+                [],
+            )
+        return executor.map(fn, tasks), []
 
     def _batch_executor_name(self) -> str:
         if self.batch_executor is None:

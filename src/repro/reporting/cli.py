@@ -105,6 +105,13 @@ def _pipeline_command(args: list[str]) -> int:
         help="run the sweep N times (re-runs hit the caches)",
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist per-campaign progress checkpoints under DIR so a "
+        "killed sweep resumes from its completed systems",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable summary instead of the table",
@@ -114,12 +121,18 @@ def _pipeline_command(args: list[str]) -> int:
     except SystemExit as exc:
         return int(exc.code or 0)
 
+    checkpoint = None
+    if options.checkpoint:
+        from repro.resilience import CheckpointStore
+
+        checkpoint = CheckpointStore(options.checkpoint)
     names = options.systems.split(",") if options.systems else None
     pipeline = CampaignPipeline(
         systems=names,
         executor=options.executor,
         max_workers=options.workers,
         batch_executor=options.batch_executor,
+        checkpoint=checkpoint,
     )
     report = None
     try:
@@ -218,6 +231,13 @@ def _fleet_command(args: list[str]) -> int:
         "injection harness",
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist per-chunk progress checkpoints under DIR so a "
+        "killed run resumes from its completed shards",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable summary instead of the table",
@@ -226,6 +246,11 @@ def _fleet_command(args: list[str]) -> int:
         options = parser.parse_args(args)
     except SystemExit as exc:
         return int(exc.code or 0)
+    checkpoint = None
+    if options.checkpoint:
+        from repro.resilience import CheckpointStore
+
+        checkpoint = CheckpointStore(options.checkpoint)
     names = options.systems.split(",") if options.systems else None
     try:
         report = run_fleet(
@@ -237,6 +262,7 @@ def _fleet_command(args: list[str]) -> int:
             max_workers=options.workers,
             chunk_size=options.chunk,
             agreement_sample=options.sample,
+            checkpoint=checkpoint,
         )
     except KeyError as exc:  # unknown system, from the registry
         print(exc.args[0], file=sys.stderr)
@@ -271,6 +297,21 @@ def _serve_command(args: list[str]) -> int:
     )
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="bound the admission queue; excess requests are shed with "
+        "a typed `overloaded` error instead of queueing",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; slower checks return a typed "
+        "`deadline` error and count against the circuit breaker",
+    )
+    parser.add_argument(
         "--warmup-only",
         action="store_true",
         help="warm every checker, print the service status, and exit "
@@ -296,7 +337,10 @@ def _serve_command(args: list[str]) -> int:
     async def run() -> int:
         try:
             service = ValidationService(
-                systems=names, max_workers=options.workers
+                systems=names,
+                max_workers=options.workers,
+                max_pending=options.max_pending,
+                deadline_seconds=options.deadline,
             )
         except KeyError as exc:  # unknown system, from the registry
             print(exc.args[0], file=sys.stderr)
@@ -402,6 +446,21 @@ def _submit_command(args: list[str]) -> int:
         help="comma-separated diagnostic kinds to return",
     )
     parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up on connecting after this long (typed `deadline` "
+        "error instead of hanging)",
+    )
+    parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up on each response after this long",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report instead of diagnostics",
@@ -428,6 +487,8 @@ def _submit_command(args: list[str]) -> int:
             config_id=config_id,
             severity=options.severity,
             kinds=kinds,
+            connect_timeout=options.connect_timeout,
+            read_timeout=options.read_timeout,
         )
     except ServeError as exc:
         print(f"service refused the request: {exc.message}", file=sys.stderr)

@@ -1,0 +1,45 @@
+"""Fault tolerance for the long-running paths: retries, checkpoints,
+circuit breakers.
+
+The paper's thesis is that systems should anticipate and react
+gracefully to bad input; this package applies the same discipline to
+the reproduction's own infrastructure.  Three primitives, each a leaf
+module with no dependency on the pillars that use it:
+
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (capped
+  exponential backoff with deterministic seeded jitter, an optional
+  per-shard watchdog deadline) and :class:`FailedShard`, the
+  structured record a shard becomes after exhausting its attempts
+  instead of aborting the whole run.
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointStore`,
+  content-addressed progress checkpoints with atomic writes and
+  digest-verified reads, so a killed pipeline or fleet run resumes
+  from its last completed shards and still folds a bit-identical
+  final report.
+* :mod:`repro.resilience.circuit` — :class:`CircuitBreaker`, the
+  classic closed → open → half-open state machine the serve tier
+  wraps around each system's checker.
+
+Recovery events surface as ``resilience.*`` counters through
+``repro.obs`` (retries, timeouts, worker crashes, quarantines,
+checkpoint hits/saves); see docs/ROBUSTNESS.md for the policies.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.retry import (
+    FailedShard,
+    ResilientMapResult,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CLOSED",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "FailedShard",
+    "HALF_OPEN",
+    "OPEN",
+    "ResilientMapResult",
+    "RetryPolicy",
+]

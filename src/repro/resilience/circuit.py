@@ -1,0 +1,119 @@
+"""Circuit breaker: stop hammering a dependency that keeps faulting.
+
+The serve tier wraps one breaker around each system's checker.  The
+state machine is the classic three states:
+
+* **closed** — requests flow; consecutive failures are counted and
+  `threshold` of them trip the breaker.
+* **open** — requests are refused outright (the caller maps this to a
+  typed ``circuit-open`` error) until `reset_seconds` have passed.
+* **half-open** — after the cool-down, exactly one probe request is
+  let through; success closes the breaker, failure re-opens it and
+  restarts the cool-down.
+
+The clock is injected (`time.monotonic` by default) so tests drive
+the cool-down deterministically, and every transition is guarded by a
+lock so the breaker is safe to share across threads.
+
+Usage::
+
+    from repro.resilience import CircuitBreaker
+
+    breaker = CircuitBreaker(threshold=3, reset_seconds=30.0)
+    if not breaker.allow():
+        raise RuntimeError("dependency is fused off")
+    try:
+        result = do_work()
+    except Exception:
+        breaker.record_failure()
+        raise
+    else:
+        breaker.record_success()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed → open after `threshold` consecutive failures; open →
+    half-open after `reset_seconds`; one half-open probe decides."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state exactly one caller gets True (the probe);
+        everyone else keeps being refused until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: back to a full cool-down.
+                self._trip()
+                return
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probing = False
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the cool-down expires (lock held)."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

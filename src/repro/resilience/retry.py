@@ -1,0 +1,106 @@
+"""Retry policy and shard-failure records for supervised execution.
+
+`RetryPolicy` is pure data: how many attempts a shard gets, how long
+the supervisor backs off between rounds (capped exponential with
+*deterministic* jitter — seeded from the retry key, so two runs of the
+same workload sleep the same schedule and stay reproducible), and an
+optional per-shard watchdog deadline for executors that can enforce
+one.
+
+`FailedShard` is what a shard becomes after exhausting its attempts:
+a compact, picklable record that rides in the run report instead of
+aborting the run — mirroring how the checker pillar reports a bad
+config instead of crashing on it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised map treats a failing shard.
+
+    `timeout` is the per-shard watchdog deadline in seconds (None
+    disables it).  The thread and process executors enforce it from
+    shard submission; the serial executor cannot interrupt a running
+    shard, so it honours only the retry/backoff side.  Backoff for
+    attempt *n* (1-based) is ``base_delay * 2**(n-1)`` capped at
+    `max_delay`, shrunk by up to `jitter` (a fraction) using a random
+    stream seeded from the retry key — deterministic, so resumed runs
+    replay the same schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Backoff before retrying after `attempt` failures (1-based)."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        rng = random.Random(f"retry|{key}|{attempt}")
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class FailedShard:
+    """One shard that exhausted its retry budget.
+
+    Compact and picklable: it crosses process boundaries and lands in
+    run reports (`FleetReport.failed_shards`,
+    `PipelineReport.failed_shards`) so a partially degraded run stays
+    auditable instead of aborting.
+    """
+
+    index: int  # position in the submitted item list
+    label: str  # human-readable shard identity ("mysql:512")
+    attempts: int
+    error_kind: str  # exception class name, or "timeout"
+    detail: str
+
+    def summary_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "attempts": self.attempts,
+            "error_kind": self.error_kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ResilientMapResult:
+    """What a supervised `map_resilient` hands back.
+
+    `results` is aligned with the submitted items; a quarantined
+    shard's slot holds None and its `FailedShard` sits in `failures`.
+    """
+
+    results: list
+    failures: list[FailedShard]
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def completed(self) -> list:
+        """The successful results only, in submission order."""
+        return [r for r in self.results if r is not None]
+
+
+__all__ = ["FailedShard", "ResilientMapResult", "RetryPolicy"]

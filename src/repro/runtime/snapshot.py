@@ -37,9 +37,13 @@ already deduplicates them.
 from __future__ import annotations
 
 import copy
+import itertools
+import os
 import pickle
 import time
+import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.lang.ast_nodes import FunctionDef
 from repro.lang.program import Program
@@ -854,6 +858,28 @@ def _resume(
 # -- shared-memory snapshot pool ---------------------------------------------
 
 
+#: Monotonic per-process suffix for pool segment names.
+_SEGMENT_IDS = itertools.count()
+
+#: Every pool segment is named ``repro-snap-<owner pid>-<n>``, so a
+#: sweep can tell whose segments they are and whether the owner died.
+_SEGMENT_PREFIX = "repro-snap-"
+
+
+def _release_segments(segments: list) -> None:
+    """Close and unlink a batch of owned segments (idempotent, and
+    tolerant of segments that already vanished).  Module-level so a
+    `weakref.finalize` can call it without resurrecting the pool."""
+    drained = list(segments)
+    segments.clear()
+    for segment in drained:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
 class SnapshotPool:
     """Boot-snapshot transport for process-executor fleets.
 
@@ -864,22 +890,36 @@ class SnapshotPool:
     pipe.  The manifest (`{key: (segment name, size, boundary)}`) is
     tiny and travels through the normal worker-seed side channel.
 
-    The parent owns every segment: `close()` (or use as a context
-    manager) closes and unlinks them all, and is idempotent and
-    tolerant of segments that already vanished - a worker crash can
-    never leak shared memory past the parent's cleanup.  Workers use
-    the static `fetch` and never unlink.
+    The parent owns every segment, and ownership is enforced three
+    ways so a crash can never leak shared memory indefinitely:
+    `close()` (or use as a context manager) unlinks everything now; a
+    `weakref.finalize` unlinks at garbage collection if the owner
+    forgot; and segment names embed the owner's pid, so
+    `sweep_orphans()` in any later process can reclaim segments whose
+    owner died uncleanly (SIGKILL skips finalizers).  Workers use the
+    static `fetch` and never unlink.
     """
 
     def __init__(self) -> None:
         self._segments: list = []
         self.manifest: dict[str, tuple[str, int, int]] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
 
     def publish(self, key: str, blob: bytes, boundary: int) -> None:
         """Copy one snapshot blob into a fresh shared segment."""
         from multiprocessing import shared_memory
 
-        segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        while True:
+            name = f"{_SEGMENT_PREFIX}{os.getpid()}-{next(_SEGMENT_IDS)}"
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, len(blob))
+                )
+                break
+            except FileExistsError:
+                continue  # pid reuse left a stale name; take the next
         segment.buf[: len(blob)] = blob
         self._segments.append(segment)
         self.manifest[key] = (segment.name, len(blob), boundary)
@@ -902,15 +942,50 @@ class SnapshotPool:
             segment.close()
 
     def close(self) -> None:
-        """Close and unlink every published segment (idempotent)."""
-        segments, self._segments = self._segments, []
+        """Close and unlink every published segment (idempotent).
+        Mutates the segment list in place so the finalizer - which
+        captured this very list - sees it drained."""
         self.manifest = {}
-        for segment in segments:
+        _release_segments(self._segments)
+
+    @staticmethod
+    def sweep_orphans() -> int:
+        """Reclaim pool segments whose owning process died uncleanly.
+
+        A SIGKILL'd parent runs no finalizers, so its segments outlive
+        it in /dev/shm.  Their names embed the owner's pid; any later
+        process can check whether that pid is still alive and unlink
+        the segments of the dead.  Returns how many were reclaimed.
+        No-op (0) on platforms without a /dev/shm listing.
+        """
+        from multiprocessing import shared_memory
+
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            return 0
+        reclaimed = 0
+        for path in shm_dir.iterdir():
+            name = path.name
+            if not name.startswith(_SEGMENT_PREFIX):
+                continue
+            pid_part = name[len(_SEGMENT_PREFIX):].split("-", 1)[0]
+            if not pid_part.isdigit():
+                continue
             try:
+                os.kill(int(pid_part), 0)
+                continue  # owner is alive; its segments are its own
+            except ProcessLookupError:
+                pass  # owner is dead: reclaim below
+            except PermissionError:
+                continue  # alive, owned by someone else
+            try:
+                segment = shared_memory.SharedMemory(name=name)
                 segment.close()
                 segment.unlink()
+                reclaimed += 1
             except FileNotFoundError:
-                pass
+                continue  # a concurrent sweep beat us to it
+        return reclaimed
 
     def __enter__(self) -> "SnapshotPool":
         return self

@@ -50,16 +50,43 @@ class ServeClient:
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        read_timeout: float | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        # How long one op may wait for its response line (None = wait
+        # forever).  A blown timeout surfaces as a typed
+        # `ServeError("deadline")`, never a hang or a bare
+        # `TimeoutError` the caller has to know asyncio internals for.
+        self.read_timeout = read_timeout
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServeClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=MAX_LINE_BYTES
-        )
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+    ) -> "ServeClient":
+        try:
+            if connect_timeout is None:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE_BYTES
+                )
+            else:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        host, port, limit=MAX_LINE_BYTES
+                    ),
+                    connect_timeout,
+                )
+        except asyncio.TimeoutError:
+            raise ServeError(
+                "deadline",
+                f"connecting to {host}:{port} exceeded the "
+                f"{connect_timeout}s connect timeout",
+            ) from None
+        return cls(reader, writer, read_timeout=read_timeout)
 
     async def close(self) -> None:
         self._writer.close()
@@ -81,8 +108,23 @@ class ServeClient:
         self._writer.write(
             (json.dumps(message) + "\n").encode("utf-8")
         )
-        await self._writer.drain()
-        line = await self._reader.readline()
+        try:
+            if self.read_timeout is None:
+                await self._writer.drain()
+                line = await self._reader.readline()
+            else:
+                await asyncio.wait_for(
+                    self._writer.drain(), self.read_timeout
+                )
+                line = await asyncio.wait_for(
+                    self._reader.readline(), self.read_timeout
+                )
+        except asyncio.TimeoutError:
+            raise ServeError(
+                "deadline",
+                f"op {op!r} exceeded the {self.read_timeout}s read "
+                "timeout waiting on the server",
+            ) from None
         if not line:
             raise ServeError(
                 "bad-request", "server closed the connection mid-call"
@@ -185,11 +227,18 @@ def submit_config(
     config_id: str | None = None,
     severity: str | None = None,
     kinds: tuple[str, ...] = (),
+    connect_timeout: float | None = None,
+    read_timeout: float | None = None,
 ) -> tuple[CheckResponse, list[dict]]:
     """One-shot synchronous submission (the ``submit`` CLI command)."""
 
     async def run():
-        client = await ServeClient.connect(host, port)
+        client = await ServeClient.connect(
+            host,
+            port,
+            connect_timeout=connect_timeout,
+            read_timeout=read_timeout,
+        )
         try:
             return await client.check_all(
                 system,

@@ -59,7 +59,11 @@ class ServeError(Exception):
     Codes are part of the wire schema (clients branch on them):
     ``unknown-system``, ``bad-request``, ``limit-exceeded``,
     ``bad-cursor``, ``cursor-expired``, ``unknown-config``,
-    ``bad-op``, ``schema-mismatch``.
+    ``bad-op``, ``schema-mismatch``, and the degradation codes
+    ``overloaded`` (admission queue full, retry later), ``deadline``
+    (the request exceeded its processing deadline), ``circuit-open``
+    (the system's checker is fused off after repeated faults) and
+    ``checker-fault`` (the checker itself crashed on this request).
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -391,6 +395,11 @@ class FleetStatus:
     warmup_seconds: float
     workers: int
     cache_stats: dict = field(default_factory=dict)
+    # Degradation posture: admission/deadline limits, shed and timeout
+    # totals, and each system's circuit-breaker state.  Additive with
+    # a default, so schema version 1 stays honest - old clients ignore
+    # it, old servers simply omit it.
+    resilience: dict = field(default_factory=dict)
 
     def summary_dict(self) -> dict:
         return {
@@ -403,6 +412,7 @@ class FleetStatus:
             "warmup_seconds": self.warmup_seconds,
             "workers": self.workers,
             "cache_stats": self.cache_stats,
+            "resilience": self.resilience,
         }
 
     @classmethod
@@ -417,6 +427,7 @@ class FleetStatus:
             warmup_seconds=data["warmup_seconds"],
             workers=data["workers"],
             cache_stats=data["cache_stats"],
+            resilience=data.get("resilience", {}),
         )
 
 

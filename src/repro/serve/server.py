@@ -82,10 +82,16 @@ class ValidationServer:
         service: ValidationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        drain_timeout: float | None = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port  # 0 = ephemeral; updated on start()
+        # How long one response write may sit in a full socket buffer
+        # before the client is declared too slow and dropped (None =
+        # wait forever).  A reader that stops consuming must not pin a
+        # handler - and its buffered responses - indefinitely.
+        self.drain_timeout = drain_timeout
         self._server: asyncio.AbstractServer | None = None
         self._closing = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
@@ -144,13 +150,14 @@ class ValidationServer:
                             )
                         )
                     )
-                    await writer.drain()
+                    await self._drain(writer)
                     break
                 if not line:
                     break
                 response = await self._dispatch(line)
                 writer.write(response)
-                await writer.drain()
+                if not await self._drain(writer):
+                    break  # too slow to keep serving; drop the client
         except ConnectionResetError:
             pass
         finally:
@@ -160,6 +167,19 @@ class ValidationServer:
             # cancellation (see `stop`), and the transport finishes
             # closing on the loop without being awaited.
             writer.close()
+
+    async def _drain(self, writer) -> bool:
+        """Flush the write buffer, bounded by `drain_timeout`.  False
+        means the client read too slowly and must be dropped."""
+        if self.drain_timeout is None:
+            await writer.drain()
+            return True
+        try:
+            await asyncio.wait_for(writer.drain(), self.drain_timeout)
+            return True
+        except asyncio.TimeoutError:
+            self.service.registry.inc("serve.slow_client_drops")
+            return False
 
     async def _dispatch(self, line: bytes) -> bytes:
         try:
@@ -220,8 +240,14 @@ class BackgroundServer:
         port: int = 0,
         caches=None,
         max_workers: int | None = None,
+        max_pending: int | None = None,
+        deadline_seconds: float | None = None,
+        drain_timeout: float | None = None,
     ) -> None:
-        self._service_args = (systems, caches, max_workers)
+        self._service_args = (
+            systems, caches, max_workers, max_pending, deadline_seconds
+        )
+        self._drain_timeout = drain_timeout
         self._host = host
         self._port = port
         self._thread: threading.Thread | None = None
@@ -246,14 +272,27 @@ class BackgroundServer:
         asyncio.run(self._main())
 
     async def _main(self) -> None:
-        systems, caches, max_workers = self._service_args
+        (
+            systems,
+            caches,
+            max_workers,
+            max_pending,
+            deadline_seconds,
+        ) = self._service_args
         try:
             service = ValidationService(
-                systems=systems, caches=caches, max_workers=max_workers
+                systems=systems,
+                caches=caches,
+                max_workers=max_workers,
+                max_pending=max_pending,
+                deadline_seconds=deadline_seconds,
             )
             await service.start()
             self._server = ValidationServer(
-                service, host=self._host, port=self._port
+                service,
+                host=self._host,
+                port=self._port,
+                drain_timeout=self._drain_timeout,
             )
             await self._server.start()
         except BaseException as exc:  # surface on the caller's thread

@@ -52,6 +52,7 @@ from repro.checker.validate import ERROR, ValidationReport, validate_config
 from repro.core.engine import SpexOptions
 from repro.obs import MetricsRegistry, get_tracer
 from repro.pipeline.cache import PipelineCaches
+from repro.resilience import CircuitBreaker
 from repro.serve.models import (
     DEFAULT_PAGE_SIZE,
     MAX_HISTORY_DEPTH,
@@ -107,6 +108,11 @@ class ValidationService:
         max_workers: int | None = None,
         max_results: int = DEFAULT_MAX_RESULTS,
         engine: str | None = None,
+        max_pending: int | None = None,
+        deadline_seconds: float | None = None,
+        circuit_threshold: int = 5,
+        circuit_reset_seconds: float = 30.0,
+        clock=time.monotonic,
     ) -> None:
         from repro.systems.registry import iter_systems
 
@@ -135,6 +141,24 @@ class ValidationService:
         # Launch engine pre-warmed per system during start(), so the
         # first interpreter-backed request never pays plan lowering.
         self._engine = engine
+        # Degradation posture (see docs/ROBUSTNESS.md): a bounded
+        # admission count sheds load with typed `overloaded` errors, a
+        # per-request deadline converts stuck checks into typed
+        # `deadline` errors, and one circuit breaker per served system
+        # fuses a repeatedly-faulting checker off instead of letting
+        # every request fail slowly.  All default off/forgiving; the
+        # clock is injectable so tests drive cool-downs directly.
+        self._max_pending = max_pending
+        self._deadline_seconds = deadline_seconds
+        self._inflight = 0
+        self._breakers = {
+            name: CircuitBreaker(
+                threshold=circuit_threshold,
+                reset_seconds=circuit_reset_seconds,
+                clock=clock,
+            )
+            for name in self._systems
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -208,19 +232,84 @@ class ValidationService:
     # -- the check path ------------------------------------------------------
 
     async def check(self, request: CheckRequest) -> CheckResponse:
-        """Validate one submission and commit it to the history."""
+        """Validate one submission and commit it to the history.
+
+        Degradation order: shed first (cheapest refusal), then the
+        circuit breaker (known-bad checker), then the deadline around
+        the actual work - so an overloaded service answers every
+        request *something* typed instead of queueing unboundedly or
+        hanging."""
         request.validate()
+        if (
+            self._max_pending is not None
+            and self._inflight >= self._max_pending
+        ):
+            self.registry.inc("serve.shed")
+            raise ServeError(
+                "overloaded",
+                f"admission queue is full ({self._max_pending} pending); "
+                "retry later",
+            )
+        breaker = self._breakers.get(request.system)
+        if breaker is not None and not breaker.allow():
+            self.registry.inc("serve.circuit_open")
+            raise ServeError(
+                "circuit-open",
+                f"the {request.system} checker is fused off after "
+                "repeated faults; retrying after the cool-down",
+            )
+        self._inflight += 1
         begun = time.perf_counter()
-        tracer = get_tracer()
-        if tracer.enabled:
-            with tracer.span("serve.check", system=request.system):
-                response = await self._check_inner(request)
-        else:
-            response = await self._check_inner(request)
+        try:
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span("serve.check", system=request.system):
+                    response = await self._check_guarded(request, breaker)
+            else:
+                response = await self._check_guarded(request, breaker)
+        finally:
+            self._inflight -= 1
         self.registry.inc("serve.requests")
         self.registry.observe(
             "serve.check_seconds", time.perf_counter() - begun
         )
+        return response
+
+    async def _check_guarded(
+        self, request: CheckRequest, breaker: CircuitBreaker | None
+    ) -> CheckResponse:
+        """Apply the per-request deadline and feed the system's
+        circuit breaker: organic checker crashes (and deadline blows)
+        count as faults, typed refusals do not."""
+        try:
+            if self._deadline_seconds is None:
+                response = await self._check_inner(request)
+            else:
+                response = await asyncio.wait_for(
+                    self._check_inner(request), self._deadline_seconds
+                )
+        except ServeError:
+            raise
+        except asyncio.TimeoutError:
+            self.registry.inc("serve.deadline_timeouts")
+            if breaker is not None:
+                breaker.record_failure()
+            raise ServeError(
+                "deadline",
+                f"request exceeded the {self._deadline_seconds}s "
+                "processing deadline",
+            ) from None
+        except Exception as exc:
+            self.registry.inc("serve.checker_faults")
+            if breaker is not None:
+                breaker.record_failure()
+            raise ServeError(
+                "checker-fault",
+                f"the {request.system} checker failed on this request: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        if breaker is not None:
+            breaker.record_success()
         return response
 
     async def _check_inner(self, request: CheckRequest) -> CheckResponse:
@@ -406,6 +495,7 @@ class ValidationService:
         uptime = (
             time.monotonic() - self._started_at if self.started else 0.0
         )
+        counters = self.registry.snapshot()["counters"]
         return FleetStatus(
             schema_version=SCHEMA_VERSION,
             systems=tuple(sorted(self._checkers)),
@@ -416,6 +506,20 @@ class ValidationService:
             warmup_seconds=self._warmup_seconds,
             workers=self._workers,
             cache_stats=self.caches.stats(),
+            resilience={
+                "max_pending": self._max_pending,
+                "deadline_seconds": self._deadline_seconds,
+                "shed": counters.get("serve.shed", 0),
+                "deadline_timeouts": counters.get(
+                    "serve.deadline_timeouts", 0
+                ),
+                "circuit_open": counters.get("serve.circuit_open", 0),
+                "checker_faults": counters.get("serve.checker_faults", 0),
+                "breakers": {
+                    name: self._breakers[name].state
+                    for name in sorted(self._breakers)
+                },
+            },
         )
 
     def metrics(self, limit: int | None = None) -> MetricsResponse:

@@ -1,0 +1,84 @@
+"""Unit tests for `repro.chaos`: the seeded fault schedule itself."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.chaos import ChaosError, ChaosSchedule
+
+
+class TestShould:
+    def test_deterministic_for_fixed_inputs(self):
+        schedule = ChaosSchedule(seed=7, error_rate=0.3)
+        decisions = [
+            schedule.should("error", f"fleet:{i}|a1") for i in range(64)
+        ]
+        again = [
+            schedule.should("error", f"fleet:{i}|a1") for i in range(64)
+        ]
+        assert decisions == again
+        # A 30% rate over 64 keys fires somewhere, but not everywhere.
+        assert any(decisions) and not all(decisions)
+
+    def test_seed_changes_the_pattern(self):
+        a = ChaosSchedule(seed=1, error_rate=0.3)
+        b = ChaosSchedule(seed=2, error_rate=0.3)
+        keys = [f"shard:{i}|a1" for i in range(64)]
+        assert [a.should("error", k) for k in keys] != [
+            b.should("error", k) for k in keys
+        ]
+
+    def test_kinds_are_diced_independently(self):
+        schedule = ChaosSchedule(seed=3, error_rate=0.5, stall_rate=0.5)
+        keys = [f"shard:{i}|a1" for i in range(64)]
+        errors = [schedule.should("error", k) for k in keys]
+        stalls = [schedule.should("stall", k) for k in keys]
+        assert errors != stalls
+
+    def test_attempt_number_rerolls_the_dice(self):
+        schedule = ChaosSchedule(seed=5, error_rate=0.5)
+        first = [schedule.should("error", f"s:{i}|a1") for i in range(64)]
+        second = [schedule.should("error", f"s:{i}|a2") for i in range(64)]
+        assert first != second
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        quiet = ChaosSchedule(seed=9)
+        loud = ChaosSchedule(seed=9, error_rate=1.0)
+        for i in range(16):
+            assert not quiet.should("error", f"s:{i}|a1")
+            assert loud.should("error", f"s:{i}|a1")
+
+    def test_schedule_is_frozen_and_picklable(self):
+        schedule = ChaosSchedule(seed=4, kill_rate=0.1)
+        with pytest.raises(Exception):
+            schedule.seed = 5
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+        # Both sides of a process boundary agree on every decision.
+        for i in range(32):
+            key = f"s:{i}|a1"
+            assert clone.should("kill", key) == schedule.should("kill", key)
+
+
+class TestPerturb:
+    def test_error_raises_chaos_error(self):
+        schedule = ChaosSchedule(seed=0, error_rate=1.0)
+        with pytest.raises(ChaosError):
+            schedule.perturb("s:0|a1")
+
+    def test_quiet_schedule_is_a_no_op(self):
+        ChaosSchedule(seed=0).perturb("s:0|a1")  # must not raise
+
+    def test_stall_sleeps_roughly_stall_seconds(self):
+        schedule = ChaosSchedule(seed=0, stall_rate=1.0, stall_seconds=0.05)
+        began = time.perf_counter()
+        schedule.perturb("s:0|a1")
+        assert time.perf_counter() - began >= 0.04
+
+    def test_kill_degrades_to_error_outside_pool_workers(self):
+        # allow_kill=False is the parent-process path: a fired kill
+        # must raise instead of SIGKILLing the caller.
+        schedule = ChaosSchedule(seed=0, kill_rate=1.0)
+        with pytest.raises(ChaosError, match="simulated worker kill"):
+            schedule.perturb("s:0|a1", allow_kill=False)

@@ -1,0 +1,105 @@
+"""Serve-path chaos: connection drops, slow clients and overload must
+degrade into typed refusals and dropped connections — never a hung
+handler or an unserved healthy client."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeError
+from repro.serve.client import submit_config
+from repro.serve.server import ValidationServer
+from repro.serve.service import ValidationService
+
+SYSTEM = "storage_a"
+CONFIG = "listen_port = 9090\nmax_connections = 64\n"
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(systems=[SYSTEM]) as running:
+        yield running
+
+
+class TestConnectionDrops:
+    def test_survives_mid_request_disconnects(self, server):
+        # Clients that vanish mid-line, after garbage, or right after
+        # connecting: each handler must die quietly.
+        for payload in (b"", b'{"op": "check", "system": ', b"\x00\xff\n"):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as sock:
+                if payload:
+                    sock.sendall(payload)
+        # The service still answers a healthy client afterwards.
+        response, _ = submit_config(
+            "127.0.0.1", server.port, SYSTEM, CONFIG, read_timeout=10.0
+        )
+        assert response.system == SYSTEM
+
+    def test_garbage_line_gets_a_typed_error_not_a_hang(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            sock.sendall(b"this is not json\n")
+            sock.settimeout(5)
+            line = sock.makefile("rb").readline()
+        assert b'"ok": false' in line
+        assert b"bad-request" in line
+
+
+class TestOverloadSheds:
+    def test_wire_level_overload_is_a_typed_refusal(self):
+        # max_pending=0 sheds every admission: the cheapest possible
+        # refusal, delivered as a typed error over the wire.
+        with BackgroundServer(systems=[SYSTEM], max_pending=0) as running:
+            with pytest.raises(ServeError) as excinfo:
+                submit_config(
+                    "127.0.0.1",
+                    running.port,
+                    SYSTEM,
+                    CONFIG,
+                    read_timeout=10.0,
+                )
+            assert excinfo.value.code == "overloaded"
+            # Shedding one client never poisons the server for the
+            # next (who would be shed too — but answered, not hung).
+            with pytest.raises(ServeError) as again:
+                submit_config(
+                    "127.0.0.1",
+                    running.port,
+                    SYSTEM,
+                    CONFIG,
+                    read_timeout=10.0,
+                )
+            assert again.value.code == "overloaded"
+
+
+class TestSlowClients:
+    def test_drain_timeout_drops_the_reader_that_stopped_reading(self):
+        # Unit-level: `_drain` is the only slow-client policy point.
+        # A writer whose buffer never empties is declared too slow.
+        service = ValidationService(systems=[SYSTEM])
+        server = ValidationServer(service, drain_timeout=0.05)
+
+        class _CloggedWriter:
+            async def drain(self):
+                await asyncio.sleep(60)
+
+        dropped = asyncio.run(server._drain(_CloggedWriter()))
+        assert dropped is False
+        counters = service.registry.snapshot()["counters"]
+        assert counters.get("serve.slow_client_drops") == 1
+
+    def test_fast_writers_are_untouched(self):
+        service = ValidationService(systems=[SYSTEM])
+        server = ValidationServer(service, drain_timeout=0.05)
+
+        class _PromptWriter:
+            async def drain(self):
+                return None
+
+        assert asyncio.run(server._drain(_PromptWriter())) is True
+        counters = service.registry.snapshot()["counters"]
+        assert counters.get("serve.slow_client_drops", 0) == 0

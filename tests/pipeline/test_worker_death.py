@@ -1,0 +1,97 @@
+"""Process-executor worker death: a SIGKILL'd worker mid-shard must
+become a structured retry (and, when the budget runs out, a
+`FailedShard`) instead of an opaque `BrokenProcessPool` crash.
+
+Multicore-gated like the other process-pool tiers: on one core the
+fork + supervision rounds cost more than they prove.
+"""
+
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import ChaosSchedule
+from repro.pipeline.executor import ProcessExecutor
+from repro.resilience import RetryPolicy
+
+MULTICORE = (os.cpu_count() or 1) >= 2
+pytestmark = pytest.mark.skipif(
+    not MULTICORE, reason="process worker-death tier needs >= 2 cores"
+)
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.005)
+
+
+def _die_once(item):
+    """SIGKILL this worker the first time each item is seen; succeed
+    on the retry.  The sentinel file is the cross-process 'seen' bit —
+    written *before* the kill so the retry observes it."""
+    value, sentinel = item
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_bytes(b"died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _echo(item):
+    return item
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkill_mid_shard_retries_to_success(self, tmp_path):
+        items = [(i, str(tmp_path / f"s{i}")) for i in range(2)]
+        result = ProcessExecutor(max_workers=2).map_resilient(
+            _die_once, items, FAST, label="kill"
+        )
+        assert result.results == [0, 10]
+        assert result.ok
+        # Every shard of the broken pool pays one attempt, so at least
+        # the two killed shards were retried.
+        assert result.retries >= 2
+
+    def test_sigkill_is_counted_as_a_worker_crash(self, tmp_path):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        before = registry.snapshot()["counters"].get(
+            "resilience.worker_crashes", 0
+        )
+        items = [(1, str(tmp_path / "crash"))]
+        result = ProcessExecutor(max_workers=1).map_resilient(
+            _die_once, items, FAST, label="kill"
+        )
+        assert result.ok
+        after = registry.snapshot()["counters"].get(
+            "resilience.worker_crashes", 0
+        )
+        assert after > before
+
+    def test_chaos_kill_exhaustion_quarantines_structurally(self):
+        # Every attempt dies: the opaque BrokenProcessPool becomes a
+        # structured quarantine record, and the run returns.
+        chaos = ChaosSchedule(seed=1, kill_rate=1.0)
+        policy = RetryPolicy(max_attempts=2, base_delay=0.001)
+        result = ProcessExecutor(max_workers=2).map_resilient(
+            _echo, [5, 6], policy, chaos=chaos, label="doom"
+        )
+        assert result.results == [None, None]
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert failure.attempts == 2
+            assert failure.error_kind == "BrokenProcessPool"
+
+    def test_healthy_siblings_survive_a_killed_worker(self, tmp_path):
+        # One shard SIGKILLs its worker; the pool is poisoned for that
+        # round, but the supervisor's next round completes everyone.
+        items = [(i, str(tmp_path / f"mix{i}")) for i in range(4)]
+        # Pre-mark items 0 and 2 as already seen: they never die.
+        Path(items[0][1]).write_bytes(b"ok")
+        Path(items[2][1]).write_bytes(b"ok")
+        result = ProcessExecutor(max_workers=2).map_resilient(
+            _die_once, items, FAST, label="mix"
+        )
+        assert result.results == [0, 10, 20, 30]
+        assert result.ok

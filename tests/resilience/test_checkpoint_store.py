@@ -1,0 +1,131 @@
+"""Unit tests for `repro.resilience.checkpoint`: atomic writes,
+digest-verified reads, content addressing."""
+
+import os
+
+from repro.resilience import CheckpointStore
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "shard-1", b"payload bytes")
+        assert store.load("run", "shard-1") == b"payload bytes"
+
+    def test_missing_shard_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load("run", "never-saved") is None
+
+    def test_empty_payload_roundtrips(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "empty", b"")
+        assert store.load("run", "empty") == b""
+
+    def test_overwrite_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "s", b"first")
+        store.save("run", "s", b"second")
+        assert store.load("run", "s") == b"second"
+
+    def test_two_store_instances_share_the_directory(self, tmp_path):
+        CheckpointStore(tmp_path).save("run", "s", b"x")
+        assert CheckpointStore(tmp_path).load("run", "s") == b"x"
+
+
+class TestContentAddressing:
+    def test_run_keys_isolate(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run-spec-v1", "shard", b"old")
+        # Any change to the run spec changes the run key, so the new
+        # run can never resurrect the old shard.
+        assert store.load("run-spec-v2", "shard") is None
+
+    def test_shard_keys_isolate(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "mysql:0:32", b"a")
+        assert store.load("run", "mysql:32:32") is None
+
+    def test_shard_count(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.shard_count("run") == 0
+        store.save("run", "a", b"1")
+        store.save("run", "b", b"2")
+        store.save("other", "a", b"3")
+        assert store.shard_count("run") == 2
+        assert store.shard_count("other") == 1
+
+
+class TestCorruptionReadsAsMissing:
+    def _shard_file(self, tmp_path, store):
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        return next(p for p in run_dir.iterdir() if p.suffix == ".ckpt")
+
+    def test_truncated_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "s", b"payload")
+        path = self._shard_file(tmp_path, store)
+        body = path.read_bytes()
+        path.write_bytes(body[: len(body) // 2])
+        assert store.load("run", "s") is None
+
+    def test_flipped_payload_byte(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "s", b"payload")
+        path = self._shard_file(tmp_path, store)
+        body = bytearray(path.read_bytes())
+        body[-1] ^= 0xFF
+        path.write_bytes(bytes(body))
+        assert store.load("run", "s") is None
+
+    def test_wrong_magic(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "s", b"payload")
+        path = self._shard_file(tmp_path, store)
+        path.write_bytes(b"NOTCKPT\n" + path.read_bytes()[8:])
+        assert store.load("run", "s") is None
+
+    def test_garbage_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", "s", b"payload")
+        path = self._shard_file(tmp_path, store)
+        path.write_bytes(b"\x00" * 16)
+        assert store.load("run", "s") is None
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(5):
+            store.save("run", f"s{i}", b"x" * 100)
+        leftovers = [
+            p
+            for p in tmp_path.rglob("*")
+            if p.is_file() and p.suffix != ".ckpt"
+        ]
+        assert leftovers == []
+
+    def test_temp_name_is_pid_tagged(self, tmp_path):
+        # Concurrent savers (thread or process workers) must never
+        # collide on the temp name; the pid tag guarantees it across
+        # processes.
+        store = CheckpointStore(tmp_path)
+        path = store._shard_path("run", "s")
+        assert str(os.getpid()) in f"{path.name}.{os.getpid()}.tmp"
+
+
+class TestClear:
+    def test_clear_drops_only_that_run(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run-a", "s", b"1")
+        store.save("run-b", "s", b"2")
+        store.clear("run-a")
+        assert store.load("run-a", "s") is None
+        assert store.load("run-b", "s") == b"2"
+
+    def test_clear_is_idempotent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.clear("never-saved")
+        store.save("run", "s", b"1")
+        store.clear("run")
+        store.clear("run")
+        assert store.shard_count("run") == 0

@@ -1,0 +1,117 @@
+"""Unit tests for `repro.resilience.circuit`: the closed → open →
+half-open state machine, driven by an injected clock."""
+
+import threading
+
+import pytest
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_breaker(threshold=2, reset_seconds=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, reset_seconds, clock=clock), clock
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+    def test_reset_seconds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_seconds=0.0)
+
+
+class TestTripAndRefuse:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # one short of the threshold
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        # Never two *consecutive* failures, so still closed.
+        assert breaker.state == CLOSED
+
+
+class TestHalfOpenProbe:
+    def test_cool_down_moves_to_half_open(self):
+        breaker, clock = make_breaker(threshold=1, reset_seconds=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 9.9
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+
+    def test_exactly_one_probe_gets_through(self):
+        breaker, clock = make_breaker(threshold=1, reset_seconds=10.0)
+        breaker.record_failure()
+        clock.now = 11.0
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else keeps being refused
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset_seconds=10.0)
+        breaker.record_failure()
+        clock.now = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()  # fully open for business
+
+    def test_probe_failure_restarts_the_cool_down(self):
+        breaker, clock = make_breaker(threshold=3, reset_seconds=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 11.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed: one strike re-opens
+        assert breaker.state == OPEN
+        clock.now = 20.9  # cool-down restarted at t=11
+        assert breaker.state == OPEN
+        clock.now = 21.0
+        assert breaker.state == HALF_OPEN
+
+
+class TestThreadSafety:
+    def test_concurrent_allow_yields_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, reset_seconds=1.0)
+        breaker.record_failure()
+        clock.now = 2.0
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            if breaker.allow():
+                grants.append(True)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(grants) == 1

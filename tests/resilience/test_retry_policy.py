@@ -1,0 +1,102 @@
+"""Unit tests for `repro.resilience.retry`: policy math, validation,
+and the shard-failure records."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import FailedShard, ResilientMapResult, RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout is None
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_jitter_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_timeout_must_be_positive_or_none(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        assert RetryPolicy(timeout=None).timeout is None
+        assert RetryPolicy(timeout=0.5).timeout == 0.5
+
+    def test_policy_is_frozen_and_picklable(self):
+        policy = RetryPolicy(max_attempts=5, timeout=1.0)
+        with pytest.raises(Exception):
+            policy.max_attempts = 7
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestBackoffSchedule:
+    def test_exponential_doubling_before_jitter(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=10.0, jitter=0.0)
+        assert policy.delay_for(1) == pytest.approx(0.01)
+        assert policy.delay_for(2) == pytest.approx(0.02)
+        assert policy.delay_for(3) == pytest.approx(0.04)
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.5, jitter=0.0)
+        assert policy.delay_for(10) == pytest.approx(2.5)
+
+    def test_jitter_shrinks_within_band(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=10.0, jitter=0.5)
+        delay = policy.delay_for(1, key="fleet:3")
+        assert 0.005 <= delay <= 0.01
+
+    def test_jitter_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay_for(2, key="a") == policy.delay_for(2, key="a")
+        assert policy.delay_for(2, key="a") != policy.delay_for(2, key="b")
+        assert policy.delay_for(1, key="a") != policy.delay_for(2, key="a")
+
+    def test_non_positive_attempt_means_no_delay(self):
+        policy = RetryPolicy()
+        assert policy.delay_for(0) == 0.0
+        assert policy.delay_for(-3) == 0.0
+
+
+class TestFailedShard:
+    def test_summary_dict_roundtrips_every_field(self):
+        shard = FailedShard(
+            index=4,
+            label="mysql:4",
+            attempts=3,
+            error_kind="timeout",
+            detail="exceeded the 0.5s watchdog deadline",
+        )
+        assert shard.summary_dict() == {
+            "index": 4,
+            "label": "mysql:4",
+            "attempts": 3,
+            "error_kind": "timeout",
+            "detail": "exceeded the 0.5s watchdog deadline",
+        }
+
+    def test_picklable_for_the_process_boundary(self):
+        shard = FailedShard(0, "x:0", 1, "ChaosError", "boom")
+        assert pickle.loads(pickle.dumps(shard)) == shard
+
+
+class TestResilientMapResult:
+    def test_ok_and_completed(self):
+        clean = ResilientMapResult(results=[1, 2], failures=[])
+        assert clean.ok and clean.completed() == [1, 2]
+
+        hurt = ResilientMapResult(
+            results=[1, None, 3],
+            failures=[FailedShard(1, "f:1", 3, "RuntimeError", "x")],
+            retries=2,
+        )
+        assert not hurt.ok
+        assert hurt.completed() == [1, 3]
+        assert hurt.retries == 2

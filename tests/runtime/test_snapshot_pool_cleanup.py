@@ -1,0 +1,112 @@
+"""Regression tier for `SnapshotPool` shared-memory hygiene: owned
+segments are unlinked on close *and* at garbage collection, and
+`sweep_orphans` reclaims segments whose owner died without running
+either (SIGKILL skips finalizers)."""
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.snapshot import _SEGMENT_PREFIX, SnapshotPool
+
+SHM = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM.is_dir(), reason="needs a /dev/shm listing"
+)
+
+
+def _own_segments() -> set[str]:
+    prefix = f"{_SEGMENT_PREFIX}{os.getpid()}-"
+    return {p.name for p in SHM.iterdir() if p.name.startswith(prefix)}
+
+
+class TestOwnedLifecycle:
+    def test_segment_names_embed_the_owner_pid(self):
+        with SnapshotPool() as pool:
+            pool.publish("k", b"payload", 3)
+            (name, size, boundary) = pool.manifest["k"]
+            assert name.startswith(f"{_SEGMENT_PREFIX}{os.getpid()}-")
+            assert size == len(b"payload")
+            assert boundary == 3
+
+    def test_close_unlinks_every_segment(self):
+        pool = SnapshotPool()
+        pool.publish("a", b"x" * 64, 1)
+        pool.publish("b", b"y" * 64, 2)
+        names = {entry[0] for entry in pool.manifest.values()}
+        assert names <= _own_segments()
+        pool.close()
+        assert not (names & _own_segments())
+        assert pool.manifest == {}
+        pool.close()  # idempotent
+
+    def test_fetch_roundtrips_and_tolerates_missing(self):
+        with SnapshotPool() as pool:
+            pool.publish("k", b"hello", 0)
+            entry = pool.manifest["k"]
+            assert SnapshotPool.fetch(entry) == b"hello"
+        # After close the segment is gone: a worker boots cold.
+        assert SnapshotPool.fetch(entry) is None
+
+    def test_finalizer_unlinks_when_the_owner_forgot(self):
+        pool = SnapshotPool()
+        pool.publish("k", b"z" * 32, 0)
+        names = {entry[0] for entry in pool.manifest.values()}
+        assert names <= _own_segments()
+        del pool
+        gc.collect()
+        assert not (names & _own_segments())
+
+
+class TestOrphanSweep:
+    def _dead_pid(self) -> int:
+        """A pid that is certainly not running: fork a child, let it
+        exit, reap it."""
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        return pid
+
+    def test_sweep_reclaims_segments_of_dead_owners(self):
+        # A SIGKILL'd owner leaves its segment behind with no
+        # finalizer run; synthesize exactly that state: a pool-named
+        # segment tagged with a dead pid, untracked by this process's
+        # resource_tracker (the tracker of the real dead owner died
+        # with it).
+        from multiprocessing import resource_tracker, shared_memory
+
+        dead = self._dead_pid()
+        name = f"{_SEGMENT_PREFIX}{dead}-0"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=8)
+        segment.buf[:4] = b"orph"
+        segment.close()
+        resource_tracker.unregister(segment._name, "shared_memory")
+        assert (SHM / name).exists()
+
+        assert SnapshotPool.sweep_orphans() >= 1
+        assert not (SHM / name).exists()
+
+    def test_sweep_spares_live_owners(self):
+        with SnapshotPool() as pool:
+            pool.publish("k", b"live", 0)
+            names = {entry[0] for entry in pool.manifest.values()}
+            SnapshotPool.sweep_orphans()
+            assert names <= _own_segments()  # still there: we are alive
+
+    def test_sweep_ignores_foreign_names(self):
+        # Non-pool segments and malformed pool names are left alone.
+        from multiprocessing import shared_memory
+
+        other = shared_memory.SharedMemory(
+            name=f"{_SEGMENT_PREFIX}notapid-0", create=True, size=8
+        )
+        try:
+            SnapshotPool.sweep_orphans()
+            assert (SHM / other.name).exists()
+        finally:
+            other.close()
+            other.unlink()

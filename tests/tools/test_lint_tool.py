@@ -369,6 +369,87 @@ class TestDynamicExec:
             )
 
 
+class TestSilentException:
+    LIB_PATH = Path("src/repro/inject/campaign.py")
+
+    def _codes_at(self, path: Path, source: str) -> list[str]:
+        return [c for _, _, c, _ in check_tree(path, ast.parse(source))]
+
+    def test_bare_except_flagged(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        log()\n"
+        )
+        assert self._codes_at(self.LIB_PATH, source) == ["silent-exception"]
+
+    def test_broad_silent_handler_flagged(self):
+        for body in ("pass", "..."):
+            source = (
+                "def f():\n"
+                "    try:\n"
+                "        work()\n"
+                f"    except Exception:\n        {body}\n"
+            )
+            assert self._codes_at(self.LIB_PATH, source) == [
+                "silent-exception"
+            ]
+
+    def test_base_exception_and_tuple_forms_flagged(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, BaseException):\n"
+            "        pass\n"
+        )
+        assert self._codes_at(self.LIB_PATH, source) == ["silent-exception"]
+
+    def test_broad_handler_that_acts_passes(self):
+        # Recording, re-raising or returning is handling, not hiding.
+        for body in ("raise", "return None", "log(exc)"):
+            source = (
+                "def f():\n"
+                "    try:\n"
+                "        work()\n"
+                f"    except Exception as exc:\n        {body}\n"
+            )
+            assert self._codes_at(self.LIB_PATH, source) == []
+
+    def test_narrow_silent_handler_passes(self):
+        # `except OSError: pass` names exactly what it tolerates; the
+        # rule targets the catch-everything-say-nothing idiom.
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (OSError, ValueError):\n"
+            "        pass\n"
+        )
+        assert self._codes_at(self.LIB_PATH, source) == []
+
+    def test_non_library_modules_exempt(self):
+        source = "try:\n    x()\nexcept:\n    pass\n"
+        for raw in ("x.py", "tools/lint.py", "tests/lint/test_x.py"):
+            assert self._codes_at(Path(raw), source) == []
+
+    def test_allowlist_tracks_reality(self):
+        # The allowlist is empty today; any future entry must point at
+        # a real module that still contains a broad handler.
+        from lint import SILENT_EXCEPT_ALLOWLIST
+
+        lib_root = REPO_ROOT / "src" / "repro"
+        for rel in SILENT_EXCEPT_ALLOWLIST:
+            module = lib_root / rel
+            assert module.exists(), rel
+            text = module.read_text(encoding="utf-8")
+            assert "except" in text, (
+                f"{rel} no longer handles exceptions; drop it"
+            )
+
+
 class TestExistingDetectors:
     def test_dead_branch_same_return(self):
         source = (

@@ -41,6 +41,12 @@ from repro.runtime.interpreter import InterpreterOptions  # noqa: E402
 from repro.systems.registry import iter_systems  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_launch.json"
+CHAOS_OUTPUT = REPO_ROOT / "BENCH_chaos.json"
+
+#: chaos-check: a faulted-and-recovered fleet run may cost this much
+#: more wall clock than its fault-free twin before the (advisory,
+#: BENCH_GUARD-gated) check reports a regression.
+CHAOS_OVERHEAD_LIMIT = 0.15
 
 TREE_BASELINE = InterpreterOptions(
     max_steps=400_000,
@@ -180,6 +186,119 @@ def bench_campaigns() -> dict:
     }
 
 
+# -- chaos: recovery overhead ------------------------------------------------
+
+
+def _fleet_parity_view(summary: dict) -> dict:
+    """A fleet summary with every timing-derived field dropped: what
+    must be bit-identical between a fault-free run and a
+    faulted-and-recovered one."""
+    view = json.loads(json.dumps(summary))
+    for key in ("wall_time", "throughput", "cache_stats"):
+        view.pop(key, None)
+    for system in view.get("systems", []):
+        system.pop("duration", None)
+        system.pop("checker_from_cache", None)
+    return view
+
+
+def bench_chaos() -> dict:
+    """Measure what recovery costs: the same fleet run fault-free and
+    under an injected-fault schedule with retries, wall clock and
+    report parity compared."""
+    from repro.chaos import ChaosSchedule
+    from repro.checker.fleet import run_fleet
+    from repro.obs import get_registry
+    from repro.resilience import RetryPolicy
+
+    systems = ["mysql", "postgresql"]
+    size, seed, chunk_size = 384, 3, 32
+    caches = PipelineCaches()
+    # Warm inference + checker compilation once, outside both timed
+    # runs, so the comparison measures validation, not compilation.
+    run_fleet(
+        systems=systems, size=8, seed=seed, executor="serial",
+        chunk_size=chunk_size, caches=caches,
+    )
+
+    started = time.perf_counter()
+    baseline = run_fleet(
+        systems=systems, size=size, seed=seed, executor="serial",
+        chunk_size=chunk_size, caches=caches,
+    )
+    fault_free_s = time.perf_counter() - started
+
+    # seed 3 at 5% fires exactly two first-attempt faults over the 24
+    # chunks (deterministic - the schedule is a pure hash), so the run
+    # provably exercises recovery while staying under the limit.
+    chaos = ChaosSchedule(seed=3, error_rate=0.05, stall_rate=0.05,
+                          stall_seconds=0.002)
+    policy = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+    before = get_registry().snapshot()["counters"]
+    started = time.perf_counter()
+    chaotic = run_fleet(
+        systems=systems, size=size, seed=seed, executor="serial",
+        chunk_size=chunk_size, caches=caches,
+        chaos=chaos, retry_policy=policy,
+    )
+    chaos_s = time.perf_counter() - started
+    after = get_registry().snapshot()["counters"]
+
+    parity = _fleet_parity_view(
+        baseline.summary_dict()
+    ) == _fleet_parity_view(chaotic.summary_dict())
+    overhead = (chaos_s - fault_free_s) / fault_free_s
+    return {
+        "fleet": {
+            "systems": systems,
+            "size": size,
+            "chunks": (size // chunk_size) * len(systems),
+            "fault_free_s": round(fault_free_s, 3),
+            "chaos_s": round(chaos_s, 3),
+            "overhead_fraction": round(overhead, 4),
+            "parity": parity,
+            "retries": after.get("resilience.retries", 0)
+            - before.get("resilience.retries", 0),
+            "failed_shards": len(chaotic.failed_shards),
+            "chaos_schedule": {
+                "seed": chaos.seed,
+                "error_rate": chaos.error_rate,
+                "stall_rate": chaos.stall_rate,
+                "stall_seconds": chaos.stall_seconds,
+            },
+        },
+        "overhead_limit": CHAOS_OVERHEAD_LIMIT,
+    }
+
+
+def check_chaos() -> int:
+    """chaos --check: fresh recovery overhead vs the committed limit.
+
+    Parity failures always fail (determinism is not machine-
+    dependent); overhead beyond `CHAOS_OVERHEAD_LIMIT` fails only
+    under `BENCH_GUARD=1`, like bench-check."""
+    fresh = bench_chaos()["fleet"]
+    print(
+        f"chaos-check: fault-free {fresh['fault_free_s']}s vs chaotic "
+        f"{fresh['chaos_s']}s (+{fresh['overhead_fraction']:.1%}, "
+        f"{fresh['retries']} retries, parity={fresh['parity']})"
+    )
+    if not fresh["parity"]:
+        print("chaos-check: FAILED - recovered run diverged from baseline")
+        return 1
+    if fresh["overhead_fraction"] > CHAOS_OVERHEAD_LIMIT:
+        print(
+            f"chaos-check: recovery overhead {fresh['overhead_fraction']:.1%}"
+            f" exceeds the {CHAOS_OVERHEAD_LIMIT:.0%} limit"
+        )
+        if os.environ.get("BENCH_GUARD") == "1":
+            return 1
+        print("(advisory only; set BENCH_GUARD=1 to fail on overhead)")
+    else:
+        print("chaos-check: recovery overhead within limit")
+    return 0
+
+
 def _committed_warm_rows(row: dict) -> dict[str, float]:
     """Warm throughput per engine from one system's committed row,
     tolerating the pre-engine-matrix schema (flat keys = compiled)."""
@@ -242,6 +361,21 @@ def check_regressions() -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    if "--chaos" in args:
+        if "--check" in args:
+            return check_chaos()
+        payload = {
+            "generated_unix": int(time.time()),
+            "description": (
+                "recovery overhead: the same fleet run fault-free vs "
+                "under an injected-fault schedule with retries"
+            ),
+        }
+        payload.update(bench_chaos())
+        write_payload(CHAOS_OUTPUT, payload)
+        print(f"chaos: {payload['fleet']}")
+        print(f"wrote {CHAOS_OUTPUT}")
+        return 0
     if "--check" in args:
         return check_regressions()
     payload = {

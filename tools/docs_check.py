@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Execute every Python code block in README.md and the docs/ guides
-(SERVING, ADDING_A_SYSTEM, OBSERVABILITY) against the live library.
+(SERVING, ADDING_A_SYSTEM, OBSERVABILITY, ROBUSTNESS) against the
+live library.
 
 Documentation drifts when examples reference imports, functions or
 parameters that were since renamed; this gate runs each fenced
@@ -19,6 +20,7 @@ DOC_FILES = [
     "docs/SERVING.md",
     "docs/ADDING_A_SYSTEM.md",
     "docs/OBSERVABILITY.md",
+    "docs/ROBUSTNESS.md",
 ]
 
 

@@ -57,6 +57,15 @@ have actually bitten this codebase:
   injected clock (``repro.obs.Tracer(clock=...)``).  The allowlist is
   empty on purpose - grow it only for a module that genuinely needs
   calendar time.
+* ``silent-exception`` - a handler in library code under
+  ``src/repro/`` that swallows everything: a bare ``except:``, or an
+  ``except Exception:``/``except BaseException:`` whose body is only
+  ``pass``/``...``.  Swallowed faults are how recovery paths rot
+  silently - the resilience layer's whole contract is that failures
+  are *observed* (a retry, a quarantine record, a ``resilience.*``
+  counter), never discarded.  Narrow handlers (``except OSError:
+  pass``) stay legal: naming the type is the author proving they
+  know what they are ignoring.  The allowlist is empty on purpose.
 
 When ruff or pyflakes *is* installed, ``--external`` additionally runs
 it (ruff restricted to F-codes) for broader coverage; absence of both
@@ -150,6 +159,9 @@ def check_tree(path: Path, tree: ast.AST) -> list[tuple[Path, int, str, str]]:
 
     for line, code, message in _find_observability_escapes(path, tree):
         findings.append((path, line, code, message))
+
+    for line, message in _find_silent_exceptions(path, tree):
+        findings.append((path, line, "silent-exception", message))
 
     for node in ast.walk(tree):
         if (
@@ -359,6 +371,11 @@ DYNAMIC_EXEC_ALLOWLIST = {
     "runtime/codegen.py",
 }
 
+# Modules under src/repro/ permitted to silently swallow broad
+# exceptions.  Empty on purpose: a failure is either handled (a real
+# body), narrowed (a named exception type), or it propagates.
+SILENT_EXCEPT_ALLOWLIST: set[str] = set()
+
 
 def _repro_relative(path: Path) -> str | None:
     """Path below ``src/repro/`` (posix), or None outside the library.
@@ -434,6 +451,79 @@ def _find_observability_escapes(
                     f"{target.id}() in library code; dynamic execution "
                     "is reserved for the codegen launch engine "
                     "(runtime/codegen.py) - use plain dispatch instead",
+                )
+            )
+    return findings
+
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _handler_type_name(handler: ast.ExceptHandler) -> str | None:
+    """The handled exception's bare name ("Exception" for ``except
+    Exception:`` / ``except builtins.Exception:``), or None for a bare
+    ``except:``.  Tuples report the first broad member, if any."""
+    node = handler.type
+    if node is None:
+        return None
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = candidate.attr
+        else:
+            continue
+        if name in _BROAD_EXCEPTIONS:
+            return name
+    # Every member is a named, non-broad type: the narrow idiom.
+    return "-narrow-"
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    """Only ``pass`` and bare ``...`` statements: nothing is recorded,
+    re-raised, returned or logged."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _find_silent_exceptions(
+    path: Path, tree: ast.AST
+) -> list[tuple[int, str]]:
+    """Bare ``except:`` handlers (always), and broad
+    ``except Exception/BaseException:`` handlers whose body swallows
+    the fault without doing anything."""
+    rel = _repro_relative(path)
+    if rel is None or rel in SILENT_EXCEPT_ALLOWLIST:
+        return []
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _handler_type_name(node)
+        if caught is None:
+            findings.append(
+                (
+                    node.lineno,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the exception "
+                    "type being handled",
+                )
+            )
+        elif caught in _BROAD_EXCEPTIONS and _body_is_silent(node.body):
+            findings.append(
+                (
+                    node.lineno,
+                    f"`except {caught}: pass` swallows every fault "
+                    "silently; handle it, record it (repro.obs / a "
+                    "FailedShard), or narrow the exception type",
                 )
             )
     return findings
